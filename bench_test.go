@@ -1,0 +1,269 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations over the design choices called out in
+// DESIGN.md. Benchmark sample counts are deliberately small so that
+// `go test -bench=.` completes in minutes; `cmd/lpdag-experiments` runs
+// the full-scale (300 sets/point) version and writes CSVs.
+package lpdag
+
+import (
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/experiments"
+	"repro/internal/fixture"
+	"repro/internal/ilp"
+	"repro/internal/partition"
+)
+
+// BenchmarkTableI regenerates Table I: the µ_i[c] worst-case workload
+// tables of the four Figure 1 tasks.
+func BenchmarkTableI(b *testing.B) {
+	graphs := fixture.LowerPriorityGraphs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mus := blocking.MuTables(graphs, fixture.M, blocking.Combinatorial)
+		if mus[3][2] != 12 {
+			b.Fatal("Table I value drifted")
+		}
+	}
+}
+
+// BenchmarkTableII regenerates Table II: the execution scenarios e_4.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := partition.All(fixture.M); len(s) != int(partition.Count(fixture.M)) {
+			b.Fatal("p(4) mismatch")
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates Table III: ρ_k[s_l] for every scenario
+// plus the Δ⁴/Δ³ aggregation of Section IV-B3.
+func BenchmarkTableIII(b *testing.B) {
+	graphs := fixture.LowerPriorityGraphs()
+	mus := blocking.MuTables(graphs, fixture.M, blocking.Combinatorial)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var max int64
+		for _, s := range partition.All(fixture.M) {
+			if v := blocking.ScenarioWorkload(mus, fixture.M, s, blocking.Combinatorial); v > max {
+				max = v
+			}
+		}
+		if max != fixture.DeltaILP4 {
+			b.Fatalf("Δ⁴ = %d, want %d", max, fixture.DeltaILP4)
+		}
+	}
+}
+
+// benchFigure2 runs a reduced-size Figure 2 sweep at the given core
+// count (the full version is cmd/lpdag-experiments -fig2).
+func benchFigure2(b *testing.B, m int) {
+	b.Helper()
+	cfg := experiments.PaperFig2Config(m, 4, 42)
+	cfg.UStep = float64(m) / 4
+	for i := 0; i < b.N; i++ {
+		points := experiments.Figure2(cfg)
+		if len(points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFigure2a regenerates Figure 2(a): m = 4.
+func BenchmarkFigure2a(b *testing.B) { benchFigure2(b, 4) }
+
+// BenchmarkFigure2b regenerates Figure 2(b): m = 8.
+func BenchmarkFigure2b(b *testing.B) { benchFigure2(b, 8) }
+
+// BenchmarkFigure2c regenerates Figure 2(c): m = 16.
+func BenchmarkFigure2c(b *testing.B) { benchFigure2(b, 16) }
+
+// BenchmarkFigure2cTasksSweep regenerates the alternative reading of
+// Figure 2(c) (x-axis "Number of tasks", m = 16).
+func BenchmarkFigure2cTasksSweep(b *testing.B) {
+	cfg := experiments.TasksSweepConfig{
+		M: 16, U: 4, NStart: 2, NEnd: 16, SetsPerPoint: 2, Seed: 42,
+	}
+	for i := 0; i < b.N; i++ {
+		if points := experiments.TasksSweep(cfg); len(points) != 15 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// BenchmarkGroup2 regenerates the Section VI-B second-group experiment
+// (uniformly parallel task sets; LP-max ≈ LP-ILP).
+func BenchmarkGroup2(b *testing.B) {
+	cfg := experiments.PaperFig2Config(4, 4, 42)
+	cfg.UStep = 1
+	for i := 0; i < b.N; i++ {
+		res := experiments.Group2(cfg)
+		if len(res.Points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// benchAnalysisRuntime measures the LP-ILP schedulability test on one
+// random task set, mirroring the Section VI-B timing discussion
+// (0.45 s / 4.75 s / 43 min in MATLAB+CPLEX for m = 4/8/16; absolute Go
+// numbers differ, the growth trend with m is the reproduced quantity).
+func benchAnalysisRuntime(b *testing.B, m int) {
+	b.Helper()
+	g := NewGenerator(int64(m)*17, PaperGenParams(GroupMixed))
+	ts := g.TaskSet(0.4 * float64(m))
+	a, err := NewAnalyzer(Options{Cores: m, Method: LPILP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Analyze(ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalysisRuntimeM4 is the m = 4 timing measurement.
+func BenchmarkAnalysisRuntimeM4(b *testing.B) { benchAnalysisRuntime(b, 4) }
+
+// BenchmarkAnalysisRuntimeM8 is the m = 8 timing measurement.
+func BenchmarkAnalysisRuntimeM8(b *testing.B) { benchAnalysisRuntime(b, 8) }
+
+// BenchmarkAnalysisRuntimeM16 is the m = 16 timing measurement.
+func BenchmarkAnalysisRuntimeM16(b *testing.B) { benchAnalysisRuntime(b, 16) }
+
+// BenchmarkAblationBackendCombinatorial vs ...PaperILP compare the two
+// LP-ILP solver backends on the Figure 1 example (DESIGN.md ablation).
+func BenchmarkAblationBackendCombinatorial(b *testing.B) {
+	graphs := fixture.LowerPriorityGraphs()
+	for i := 0; i < b.N; i++ {
+		blocking.Compute(graphs, fixture.M, blocking.LPILP, blocking.Combinatorial)
+	}
+}
+
+// BenchmarkAblationBackendPaperILP is the ILP-encoding side of the
+// backend ablation.
+func BenchmarkAblationBackendPaperILP(b *testing.B) {
+	graphs := fixture.LowerPriorityGraphs()
+	for i := 0; i < b.N; i++ {
+		blocking.Compute(graphs, fixture.M, blocking.LPILP, blocking.PaperILP)
+	}
+}
+
+// BenchmarkAblationLPMaxVsLPILP measures the cheap bound for the method
+// cost comparison.
+func BenchmarkAblationLPMaxVsLPILP(b *testing.B) {
+	graphs := fixture.LowerPriorityGraphs()
+	for i := 0; i < b.N; i++ {
+		blocking.Compute(graphs, fixture.M, blocking.LPMax, blocking.Combinatorial)
+	}
+}
+
+// BenchmarkAblationScenarioCount tracks how the p(m) scenario
+// enumeration of the paper grows with the core count (the complexity
+// discussion of Section V-C).
+func BenchmarkAblationScenarioCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for m := 1; m <= 32; m++ {
+			partition.Count(m)
+		}
+	}
+}
+
+// BenchmarkAblationMuILPEncoding measures the corrected Section V-A2
+// encoding in isolation.
+func BenchmarkAblationMuILPEncoding(b *testing.B) {
+	g := fixture.Tau1()
+	isPar := g.IsParallelMatrix()
+	w := g.WCETs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 1; c <= fixture.M; c++ {
+			ilp.SolveMu(w, isPar, c)
+		}
+	}
+}
+
+// BenchmarkEndToEndLPILP is the full pipeline on the paper's example.
+func BenchmarkEndToEndLPILP(b *testing.B) {
+	ts := PaperExample()
+	a, err := NewAnalyzer(Options{Cores: fixture.M, Method: LPILP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Analyze(ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorPaperExample measures the validation simulator.
+func BenchmarkSimulatorPaperExample(b *testing.B) {
+	ts := PaperExample()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(ts, SimConfig{M: fixture.M, Duration: 5000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVariants runs the analysis-variant ablation sweep (final-NPR
+// refinement and repeated-blocking term) at reduced size.
+func BenchmarkVariants(b *testing.B) {
+	cfg := experiments.PaperFig2Config(4, 3, 42)
+	cfg.UStep = 1
+	for i := 0; i < b.N; i++ {
+		if points := experiments.Variants(cfg); len(points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkPessimism runs the analysis-vs-simulation gap study at one
+// grid point, reduced size.
+func BenchmarkPessimism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Pessimism(experiments.PessimismConfig{
+			M: 4, U: 2, Sets: 3, Seed: 42,
+		})
+		if res.Sets != 3 {
+			b.Fatal("wrong set count")
+		}
+	}
+}
+
+// BenchmarkSequentialSubstrate measures the RTNS'15 sequential analysis
+// (internal/seqlp) that the paper generalises.
+func BenchmarkSequentialSubstrate(b *testing.B) {
+	tasks := []*SeqTask{
+		{Name: "a", NPRs: []int64{2, 3}, Deadline: 20, Period: 20},
+		{Name: "b", NPRs: []int64{4, 1, 2}, Deadline: 40, Period: 40},
+		{Name: "c", NPRs: []int64{6, 5}, Deadline: 80, Period: 80},
+		{Name: "d", NPRs: []int64{9}, Deadline: 100, Period: 100},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeSequential(tasks, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCriticalScaling measures the sensitivity bisection on the
+// paper's example.
+func BenchmarkCriticalScaling(b *testing.B) {
+	ts := PaperExample()
+	a, err := NewAnalyzer(Options{Cores: fixture.M, Method: LPILP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.CriticalScaling(ts, 20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const schedulableSet = `{"tasks":[
+  {"name":"hi","wcet":[2],"edges":[],"deadline":40,"period":40},
+  {"name":"lo","wcet":[3,4],"edges":[[0,1]],"deadline":50,"period":50}
+]}`
+
+const doomedSet = `{"tasks":[
+  {"name":"bad","wcet":[90],"edges":[],"deadline":10,"period":10}
+]}`
+
+func TestAnalyzeSchedulable(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-m", "2", "-method", "lp-ilp"},
+		strings.NewReader(schedulableSet), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"SCHEDULABLE", "hi", "lo", "LP-ILP"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestAnalyzeUnschedulableExitCode(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-m", "2"}, strings.NewReader(doomedSet), &out, &bytes.Buffer{})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "NOT SCHEDULABLE") {
+		t.Errorf("missing verdict:\n%s", out.String())
+	}
+}
+
+func TestAnalyzeCompare(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-m", "2", "-compare"}, strings.NewReader(schedulableSet), &out, &bytes.Buffer{})
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"FP-ideal", "LP-ILP", "LP-max"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("compare output missing %q", want)
+		}
+	}
+}
+
+func TestAnalyzeFinalNPRFlag(t *testing.T) {
+	var plain, refined bytes.Buffer
+	run([]string{"-m", "2"}, strings.NewReader(schedulableSet), &plain, &bytes.Buffer{})
+	run([]string{"-m", "2", "-final-npr"}, strings.NewReader(schedulableSet), &refined, &bytes.Buffer{})
+	if plain.Len() == 0 || refined.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestAnalyzeBadInputs(t *testing.T) {
+	cases := []struct {
+		args  []string
+		stdin string
+	}{
+		{[]string{"-method", "bogus"}, schedulableSet},
+		{[]string{"-backend", "bogus"}, schedulableSet},
+		{[]string{"-badflag"}, schedulableSet},
+		{[]string{}, "not json"},
+		{[]string{"-f", "/nonexistent-xyz.json"}, ""},
+	}
+	for _, tc := range cases {
+		code := run(tc.args, strings.NewReader(tc.stdin), &bytes.Buffer{}, &bytes.Buffer{})
+		if code != 2 {
+			t.Errorf("args %v: exit %d, want 2", tc.args, code)
+		}
+	}
+}
+
+func TestAnalyzePaperILPBackend(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-m", "2", "-backend", "paper-ilp"},
+		strings.NewReader(schedulableSet), &out, &bytes.Buffer{})
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+}

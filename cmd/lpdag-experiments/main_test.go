@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTables(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-tables"}, &out, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{
+		"Table I", "Table II", "Table III",
+		"Δ⁴ = 19, Δ³ = 15", "Δ⁴ = 20, Δ³ = 16", "p(4) = 5",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFig2SmallWithCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig.csv")
+	var out bytes.Buffer
+	code := run([]string{"-fig2", "-m", "2", "-sets", "5", "-csv", path}, &out, &bytes.Buffer{})
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "utilization,FP-ideal,LP-ILP,LP-max\n") {
+		t.Errorf("bad CSV: %q", string(data)[:40])
+	}
+}
+
+func TestGroup2Small(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-group2", "-m", "2", "-sets", "5"}, &out, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "gap") {
+		t.Errorf("missing gap summary:\n%s", out.String())
+	}
+}
+
+func TestVariantsSmall(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-variants", "-m", "2", "-sets", "5"}, &out, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "finalNPR") {
+		t.Errorf("missing variants output:\n%s", out.String())
+	}
+}
+
+func TestPessimismSmall(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-pessimism", "-m", "2", "-u", "1.2", "-sets", "5"}, &out, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "pessimism") {
+		t.Errorf("missing pessimism output:\n%s", out.String())
+	}
+}
+
+func TestTimingSmall(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-timing", "-sets", "2"}, &out, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "avg/set") {
+		t.Errorf("missing timing table:\n%s", out.String())
+	}
+}
+
+func TestNoActionShowsUsage(t *testing.T) {
+	if code := run([]string{}, &bytes.Buffer{}, &bytes.Buffer{}); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestBadFlagsAndBackend(t *testing.T) {
+	if code := run([]string{"-badflag"}, &bytes.Buffer{}, &bytes.Buffer{}); code != 2 {
+		t.Error("bad flag accepted")
+	}
+	if code := run([]string{"-tables", "-backend", "bogus"}, &bytes.Buffer{}, &bytes.Buffer{}); code != 2 {
+		t.Error("bad backend accepted")
+	}
+	if code := run([]string{"-fig2", "-m", "2", "-sets", "2", "-csv", "/nonexistent-dir-xyz/x.csv"},
+		&bytes.Buffer{}, &bytes.Buffer{}); code != 1 {
+		t.Error("unwritable CSV path not reported")
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestRunStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-u", "1.5", "-seed", "9"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	ts, err := model.ReadJSON(&out)
+	if err != nil {
+		t.Fatalf("output is not a valid task set: %v", err)
+	}
+	if ts.N() < 1 {
+		t.Fatal("empty set")
+	}
+	if !strings.Contains(errb.String(), "total utilization") {
+		t.Errorf("missing summary: %q", errb.String())
+	}
+}
+
+func TestRunExactN(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-n", "5", "-u", "2", "-group", "parallel"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	ts, err := model.ReadJSON(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.N() != 5 {
+		t.Fatalf("N = %d, want 5", ts.N())
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ts.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-o", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := model.ReadJSON(f); err != nil {
+		t.Fatalf("file content invalid: %v", err)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	run([]string{"-seed", "4", "-u", "2"}, &a, &bytes.Buffer{})
+	run([]string{"-seed", "4", "-u", "2"}, &b, &bytes.Buffer{})
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-group", "bogus"},
+		{"-badflag"},
+		{"-o", "/nonexistent-dir-xyz/out.json"},
+	}
+	for _, args := range cases {
+		if code := run(args, &bytes.Buffer{}, &bytes.Buffer{}); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const smallSet = `{"tasks":[
+  {"name":"hi","wcet":[2],"edges":[],"deadline":40,"period":40},
+  {"name":"lo","wcet":[3,4],"edges":[[0,1]],"deadline":50,"period":50}
+]}`
+
+const overloadSet = `{"tasks":[
+  {"name":"a","wcet":[3],"edges":[],"deadline":4,"period":4},
+  {"name":"b","wcet":[3],"edges":[],"deadline":4,"period":4}
+]}`
+
+func TestSimBasic(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-m", "2", "-duration", "500"}, strings.NewReader(smallSet), &out, &bytes.Buffer{})
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	for _, want := range []string{"simulated", "max response", "hi", "lo"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSimMissesExitCode(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-m", "1", "-duration", "100"}, strings.NewReader(overloadSet), &out, &bytes.Buffer{})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (misses)", code)
+	}
+}
+
+func TestSimCheckAndGantt(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-m", "2", "-duration", "300", "-check", "-gantt", "-horizon", "60"},
+		strings.NewReader(smallSet), &out, &bytes.Buffer{})
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"LP-ILP analysis", "bound R(ub)", "core0", "core1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "VIOLATION") {
+		t.Errorf("simulation exceeded the analysis bound:\n%s", out.String())
+	}
+}
+
+func TestSimJitterDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	run([]string{"-m", "1", "-duration", "200", "-jitter", "5", "-seed", "3"},
+		strings.NewReader(smallSet), &a, &bytes.Buffer{})
+	run([]string{"-m", "1", "-duration", "200", "-jitter", "5", "-seed", "3"},
+		strings.NewReader(smallSet), &b, &bytes.Buffer{})
+	if a.String() != b.String() {
+		t.Error("same seed produced different simulations")
+	}
+}
+
+func TestSimBadInputs(t *testing.T) {
+	cases := []struct {
+		args  []string
+		stdin string
+	}{
+		{[]string{"-badflag"}, smallSet},
+		{[]string{}, "garbage"},
+		{[]string{"-f", "/nonexistent-xyz.json"}, ""},
+		{[]string{"-m", "0"}, smallSet},
+	}
+	for _, tc := range cases {
+		code := run(tc.args, strings.NewReader(tc.stdin), &bytes.Buffer{}, &bytes.Buffer{})
+		if code != 2 {
+			t.Errorf("args %v: exit %d, want 2", tc.args, code)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Sensitivity study: how much WCET headroom does a workload have under
+// each analysis, and what does moving from the sequential model of
+// Thekkilakattil et al. (RTNS 2015) to the paper's DAG model buy?
+//
+// The example computes the critical WCET scaling factor (the largest
+// uniform inflation of every node's WCET that keeps the set schedulable)
+// for the paper's Figure 1 workload under the three methods, then
+// contrasts the sequential substrate analysis with the DAG analysis on a
+// chain-shaped workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lpdag "repro"
+)
+
+func main() {
+	ts := lpdag.PaperExample()
+	fmt.Println("critical WCET scaling of the paper's Figure 1 task set (m=4):")
+	fmt.Printf("%10s %18s\n", "method", "max scaling")
+	for _, method := range lpdag.Methods() {
+		a, err := lpdag.NewAnalyzer(lpdag.Options{Cores: 4, Method: method})
+		if err != nil {
+			log.Fatal(err)
+		}
+		alpha, err := a.CriticalScaling(ts, 50_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10s %17.3fx\n", method, float64(alpha)/1000)
+	}
+	fmt.Println("\nFP-ideal tolerates the most inflation (no blocking), LP-ILP sits")
+	fmt.Println("between it and LP-max — the same ordering as the schedulability")
+	fmt.Println("curves of Figure 2, measured here as engineering margin.")
+
+	// Sequential substrate versus DAG analysis on chain tasks: identical
+	// blocking, tighter carry-in — the sequential bound can only be
+	// tighter, quantifying what the generalisation to DAGs costs when
+	// tasks happen to be chains.
+	seq := []*lpdag.SeqTask{
+		{Name: "ctl", NPRs: []int64{3, 2}, Deadline: 30, Period: 30},
+		{Name: "io", NPRs: []int64{5, 4}, Deadline: 60, Period: 60},
+		{Name: "bg", NPRs: []int64{8, 7, 6}, Deadline: 200, Period: 200},
+	}
+	seqRes, err := lpdag.AnalyzeSequential(seq, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tasks []*lpdag.Task
+	for _, s := range seq {
+		var b lpdag.GraphBuilder
+		prev := -1
+		for _, c := range s.NPRs {
+			v := b.AddNode(c)
+			if prev >= 0 {
+				b.AddEdge(prev, v)
+			}
+			prev = v
+		}
+		tasks = append(tasks, &lpdag.Task{Name: s.Name, G: b.MustBuild(),
+			Deadline: s.Deadline, Period: s.Period})
+	}
+	dagSet, err := lpdag.NewTaskSet(tasks...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dagRes, err := lpdag.Analyze(dagSet, 2, lpdag.LPILP)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nsequential (RTNS'15) vs DAG (DATE'16) bounds on chain tasks (m=2):")
+	fmt.Printf("%8s %14s %12s %10s\n", "task", "seq R (tight)", "DAG R(ub)", "deadline")
+	for i := range seq {
+		fmt.Printf("%8s %14d %12d %10d\n", seq[i].Name,
+			seqRes.Tasks[i].ResponseTime, dagRes.Tasks[i].ResponseTime, seq[i].Deadline)
+	}
+	fmt.Println("\nthe DAG analysis is never tighter on chains (its carry-in bound")
+	fmt.Println("shifts by vol/m instead of C), which tests pin as an invariant.")
+}

@@ -1,0 +1,114 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fromSeed builds a random set plus its reference map representation.
+func fromSeed(seed int64, n int) (*Set, map[int]bool) {
+	rng := rand.New(rand.NewSource(seed))
+	s := New(n)
+	ref := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.5 {
+			s.Add(i)
+			ref[i] = true
+		}
+	}
+	return s, ref
+}
+
+func capN(raw uint8) int { return int(raw%130) + 1 } // cross word boundaries
+
+func TestQuickCountMatchesReference(t *testing.T) {
+	f := func(seed int64, raw uint8) bool {
+		s, ref := fromSeed(seed, capN(raw))
+		return s.Count() == len(ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionIntersectionDeMorgan(t *testing.T) {
+	f := func(seed1, seed2 int64, raw uint8) bool {
+		n := capN(raw)
+		a, _ := fromSeed(seed1, n)
+		b, _ := fromSeed(seed2, n)
+		// |A ∪ B| + |A ∩ B| == |A| + |B|
+		u := a.Clone()
+		u.UnionWith(b)
+		i := a.Clone()
+		i.IntersectWith(b)
+		return u.Count()+i.Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDifferenceDisjoint(t *testing.T) {
+	f := func(seed1, seed2 int64, raw uint8) bool {
+		n := capN(raw)
+		a, _ := fromSeed(seed1, n)
+		b, _ := fromSeed(seed2, n)
+		d := a.Clone()
+		d.DifferenceWith(b)
+		// (A \ B) ∩ B = ∅ and (A \ B) ⊆ A
+		if d.Intersects(b) {
+			return false
+		}
+		return d.SubsetOf(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNextEnumerates(t *testing.T) {
+	f := func(seed int64, raw uint8) bool {
+		n := capN(raw)
+		s, _ := fromSeed(seed, n)
+		var viaNext []int
+		for v := s.Next(0); v != -1; v = s.Next(v + 1) {
+			viaNext = append(viaNext, v)
+		}
+		want := s.Indices()
+		if len(viaNext) != len(want) {
+			return false
+		}
+		for i := range want {
+			if viaNext[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRemoveInvertsAdd(t *testing.T) {
+	f := func(seed int64, raw uint8, pick uint8) bool {
+		n := capN(raw)
+		s, _ := fromSeed(seed, n)
+		i := int(pick) % n
+		before := s.Contains(i)
+		s.Add(i)
+		if !s.Contains(i) {
+			return false
+		}
+		s.Remove(i)
+		if s.Contains(i) {
+			return false
+		}
+		_ = before
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

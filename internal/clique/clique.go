@@ -1,0 +1,154 @@
+// Package clique solves the exact combinatorial core of Equation (6) of
+// Serrano et al. (DATE 2016): the worst-case workload µ_i[c] of a task on
+// c cores is the maximum total WCET of c nodes that are pairwise allowed
+// to execute in parallel — a maximum-weight c-clique of the task's
+// parallelism graph.
+//
+// The solver is a depth-first branch-and-bound over a weight-descending
+// vertex order with a prefix-sum admissible bound. DAG tasks in this
+// domain have at most a few dozen nodes, for which the search is
+// effectively instantaneous; it is nevertheless exact for any input and
+// is cross-checked against both brute force and the paper-faithful ILP
+// encoding in tests.
+package clique
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// MaxWeightKSet returns the maximum total weight of a set of exactly k
+// vertices that are pairwise adjacent in the compatibility relation adj,
+// together with one optimal vertex set (ascending order). If no such set
+// exists it returns (0, nil).
+//
+// weights[v] must be non-negative; adj[v] is the set of vertices
+// compatible with v and must be symmetric and irreflexive (as produced by
+// dag.(*Graph).Parallel).
+func MaxWeightKSet(weights []int64, adj []*bitset.Set, k int) (int64, []int) {
+	n := len(weights)
+	if k <= 0 || k > n {
+		return 0, nil
+	}
+	if k == 1 {
+		// Largest single node; no adjacency needed.
+		best, arg := int64(-1), -1
+		for v, w := range weights {
+			if w > best {
+				best, arg = w, v
+			}
+		}
+		return best, []int{arg}
+	}
+
+	// Reorder vertices by non-increasing weight so that the candidate
+	// prefix sums give a tight admissible bound and heavy vertices are
+	// branched on first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	pos := make([]int, n) // original vertex -> new index
+	for idx, v := range order {
+		pos[v] = idx
+	}
+	w := make([]int64, n)
+	nadj := make([]*bitset.Set, n)
+	for idx, v := range order {
+		w[idx] = weights[v]
+		s := bitset.New(n)
+		adj[v].ForEach(func(u int) bool {
+			s.Add(pos[u])
+			return true
+		})
+		nadj[idx] = s
+	}
+
+	var (
+		bestW    int64 = -1
+		bestSet  []int
+		picked   = make([]int, 0, k)
+		universe = bitset.New(n)
+	)
+	for i := 0; i < n; i++ {
+		universe.Add(i)
+	}
+
+	// bound returns an upper bound on the weight obtainable by adding
+	// `need` more vertices from cand: the sum of the `need` heaviest
+	// candidates (admissible since weights are sorted descending).
+	bound := func(cand *bitset.Set, need int) int64 {
+		var s int64
+		cnt := 0
+		cand.ForEach(func(v int) bool {
+			s += w[v]
+			cnt++
+			return cnt < need
+		})
+		if cnt < need {
+			return -1 // not enough candidates at all
+		}
+		return s
+	}
+
+	// rec explores candidate vertices in ascending index (= descending
+	// weight). Each vertex is either picked (recursing into its adjacency
+	// restriction) or removed for the remainder of the subtree, which
+	// makes the enumeration canonical.
+	var rec func(cand *bitset.Set, cur int64)
+	rec = func(cand *bitset.Set, cur int64) {
+		need := k - len(picked)
+		if need == 0 {
+			if cur > bestW {
+				bestW = cur
+				bestSet = append([]int(nil), picked...)
+			}
+			return
+		}
+		rest := cand.Clone()
+		for v := rest.Next(0); v != -1; v = rest.Next(v + 1) {
+			rest.Remove(v)
+			sub := rest.Clone()
+			sub.IntersectWith(nadj[v])
+			picked = append(picked, v)
+			if b := bound(sub, need-1); b >= 0 && cur+w[v]+b > bestW {
+				rec(sub, cur+w[v])
+			}
+			picked = picked[:len(picked)-1]
+			// If even the `need` heaviest vertices still available cannot
+			// beat the incumbent, no later branch of this loop can either.
+			if b := bound(rest, need); b < 0 || cur+b <= bestW {
+				break
+			}
+		}
+	}
+	rec(universe, 0)
+
+	if bestW < 0 {
+		return 0, nil
+	}
+	out := make([]int, len(bestSet))
+	for i, idx := range bestSet {
+		out[i] = order[idx]
+	}
+	sort.Ints(out)
+	return bestW, out
+}
+
+// MuTable returns µ[c] for c = 1..m (index c-1): the worst-case workload
+// of the c heaviest pairwise-parallel nodes, or 0 when fewer than c nodes
+// can run in parallel (Equation (6) and Table I of the paper).
+func MuTable(weights []int64, adj []*bitset.Set, m int) []int64 {
+	mu := make([]int64, m)
+	for c := 1; c <= m; c++ {
+		v, set := MaxWeightKSet(weights, adj, c)
+		if set == nil {
+			// No c-clique exists; larger cliques cannot exist either.
+			break
+		}
+		mu[c-1] = v
+	}
+	return mu
+}

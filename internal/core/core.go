@@ -1,0 +1,204 @@
+// Package core is the top-level analysis API of the reproduction: it
+// wraps the response-time analysis of Serrano et al. (DATE 2016) behind
+// an Analyzer with validated options, human-readable reports, and
+// method-comparison helpers. The root lpdag package re-exports it.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/blocking"
+	"repro/internal/model"
+	"repro/internal/rta"
+)
+
+// Method selects the schedulability analysis variant.
+type Method = rta.Method
+
+// Analysis variants, re-exported for callers of the public API.
+const (
+	// FPIdeal is the fully-preemptive bound of Melani et al. with zero
+	// preemption cost and no blocking (the paper's baseline).
+	FPIdeal = rta.FPIdeal
+	// LPMax is limited preemption with the pessimistic Equation (5)
+	// blocking bound.
+	LPMax = rta.LPMax
+	// LPILP is limited preemption with the precedence-aware
+	// Equations (6)-(8) blocking bound.
+	LPILP = rta.LPILP
+)
+
+// Methods lists all variants in presentation order.
+func Methods() []Method { return []Method{FPIdeal, LPILP, LPMax} }
+
+// Backend selects the LP-ILP solver implementation.
+type Backend = blocking.Backend
+
+// Solver backends, re-exported.
+const (
+	// Combinatorial uses exact clique/assignment solvers (default, fast).
+	Combinatorial = blocking.Combinatorial
+	// PaperILP uses the paper's 0-1 ILP encodings via branch and bound.
+	PaperILP = blocking.PaperILP
+)
+
+// Options configure an Analyzer.
+type Options struct {
+	Cores   int     // number of identical cores m, ≥ 1
+	Method  Method  // analysis variant; default FPIdeal
+	Backend Backend // LP-ILP solver; default Combinatorial
+}
+
+// Analyzer runs the response-time analysis with fixed options.
+type Analyzer struct {
+	opts Options
+}
+
+// New validates the options and returns an Analyzer.
+func New(opts Options) (*Analyzer, error) {
+	if opts.Cores < 1 {
+		return nil, fmt.Errorf("core: Cores must be ≥ 1, got %d", opts.Cores)
+	}
+	switch opts.Method {
+	case FPIdeal, LPMax, LPILP:
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", opts.Method)
+	}
+	switch opts.Backend {
+	case Combinatorial, PaperILP:
+	default:
+		return nil, fmt.Errorf("core: unknown backend %v", opts.Backend)
+	}
+	return &Analyzer{opts: opts}, nil
+}
+
+// MustNew is New that panics on error, for tests and fixtures.
+func MustNew(opts Options) *Analyzer {
+	a, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Options returns the analyzer's configuration.
+func (a *Analyzer) Options() Options { return a.opts }
+
+// TaskReport is the per-task outcome.
+type TaskReport struct {
+	Name        string
+	Schedulable bool
+	Analyzed    bool
+
+	// ResponseTime is the response-time upper bound in time units (the
+	// exact bound is the rational ResponseTimeM / Cores; this field is
+	// its ceiling). Deadline is copied from the task for convenience.
+	ResponseTime  int64
+	ResponseTimeM int64 // exact bound scaled by Cores
+	Deadline      int64
+
+	DeltaM      int64
+	DeltaM1     int64
+	Preemptions int64
+	Iterations  int
+}
+
+// Report is the outcome of analyzing one task set.
+type Report struct {
+	Schedulable bool
+	Method      Method
+	Cores       int
+	Utilization float64
+	Tasks       []TaskReport
+}
+
+// Analyze runs the analysis on the task set.
+func (a *Analyzer) Analyze(ts *model.TaskSet) (*Report, error) {
+	res, err := rta.Analyze(ts, rta.Config{
+		M:       a.opts.Cores,
+		Method:  a.opts.Method,
+		Backend: a.opts.Backend,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Schedulable: res.Schedulable,
+		Method:      a.opts.Method,
+		Cores:       a.opts.Cores,
+		Utilization: ts.Utilization(),
+		Tasks:       make([]TaskReport, len(res.Tasks)),
+	}
+	for i, tr := range res.Tasks {
+		rep.Tasks[i] = TaskReport{
+			Name:          tr.Name,
+			Schedulable:   tr.Schedulable,
+			Analyzed:      tr.Analyzed,
+			ResponseTime:  tr.ResponseTimeCeil(a.opts.Cores),
+			ResponseTimeM: tr.ResponseTimeM,
+			Deadline:      ts.Tasks[i].Deadline,
+			DeltaM:        tr.DeltaM,
+			DeltaM1:       tr.DeltaM1,
+			Preemptions:   tr.Preemptions,
+			Iterations:    tr.Iterations,
+		}
+	}
+	return rep, nil
+}
+
+// Schedulable is a convenience wrapper returning only the verdict.
+func (a *Analyzer) Schedulable(ts *model.TaskSet) (bool, error) {
+	rep, err := a.Analyze(ts)
+	if err != nil {
+		return false, err
+	}
+	return rep.Schedulable, nil
+}
+
+// String renders the report as a fixed-width table.
+func (r *Report) String() string {
+	var b strings.Builder
+	verdict := "SCHEDULABLE"
+	if !r.Schedulable {
+		verdict = "NOT SCHEDULABLE"
+	}
+	fmt.Fprintf(&b, "%s on m=%d cores (U=%.3f): %s\n", r.Method, r.Cores, r.Utilization, verdict)
+	fmt.Fprintf(&b, "%-12s %10s %10s %8s %8s %6s %s\n",
+		"task", "R(ub)", "D", "Dm", "Dm-1", "p", "verdict")
+	for _, t := range r.Tasks {
+		status := "ok"
+		switch {
+		case !t.Analyzed:
+			status = "skipped"
+		case !t.Schedulable:
+			status = "MISS"
+		}
+		rStr := "-"
+		if t.Analyzed {
+			rStr = fmt.Sprintf("%d", t.ResponseTime)
+		}
+		fmt.Fprintf(&b, "%-12s %10s %10d %8d %8d %6d %s\n",
+			t.Name, rStr, t.Deadline, t.DeltaM, t.DeltaM1, t.Preemptions, status)
+	}
+	return b.String()
+}
+
+// CompareMethods analyzes the set with every method at the analyzer's
+// core count (the analyzer's own Method is ignored) and returns the
+// reports keyed by method.
+func (a *Analyzer) CompareMethods(ts *model.TaskSet) (map[Method]*Report, error) {
+	out := make(map[Method]*Report, 3)
+	for _, m := range Methods() {
+		sub, err := New(Options{Cores: a.opts.Cores, Method: m, Backend: a.opts.Backend})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sub.Analyze(ts)
+		if err != nil {
+			return nil, err
+		}
+		out[m] = rep
+	}
+	return out, nil
+}

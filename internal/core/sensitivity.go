@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/model"
+)
+
+// CriticalScaling performs sensitivity analysis: it returns the largest
+// factor α (in permille, e.g. 1250 = 1.25×) such that multiplying every
+// node WCET of every task by α keeps the set schedulable under the
+// analyzer's method, searching [0, maxPermille] by bisection. A result
+// below 1000 means the set is not schedulable as given and must be
+// slowed down; above 1000 it quantifies the WCET headroom.
+//
+// Scaled WCETs are ⌈C·α/1000⌉ (rounding up keeps the scaled system an
+// over-approximation, so schedulability at α is a sound claim for every
+// real factor ≤ α/1000). Schedulability is monotone in the WCETs, hence
+// in α, which makes bisection exact at permille resolution.
+func (a *Analyzer) CriticalScaling(ts *model.TaskSet, maxPermille int) (int, error) {
+	if err := ts.Validate(); err != nil {
+		return 0, err
+	}
+	if maxPermille < 1 {
+		return 0, fmt.Errorf("core: maxPermille must be ≥ 1, got %d", maxPermille)
+	}
+	ok, err := a.scaledSchedulable(ts, 1)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil // not schedulable even at (essentially) zero WCET
+	}
+	lo, hi := 1, maxPermille // invariant: lo schedulable, hi+1 unknown
+	if ok, err = a.scaledSchedulable(ts, maxPermille); err != nil {
+		return 0, err
+	} else if ok {
+		return maxPermille, nil
+	}
+	// Invariant: schedulable at lo, unschedulable at hi.
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		ok, err := a.scaledSchedulable(ts, mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// scaledSchedulable analyzes a copy of ts with WCETs scaled by
+// permille/1000, rounded up.
+func (a *Analyzer) scaledSchedulable(ts *model.TaskSet, permille int) (bool, error) {
+	scaled := &model.TaskSet{Tasks: make([]*model.Task, ts.N())}
+	for i, t := range ts.Tasks {
+		var b dag.Builder
+		for v := 0; v < t.G.N(); v++ {
+			c := (t.G.WCET(v)*int64(permille) + 999) / 1000
+			if c < 1 {
+				c = 1
+			}
+			b.AddNode(c)
+		}
+		for _, e := range t.G.Edges() {
+			b.AddEdge(e[0], e[1])
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false, err
+		}
+		scaled.Tasks[i] = &model.Task{Name: t.Name, G: g, Deadline: t.Deadline, Period: t.Period}
+	}
+	return a.Schedulable(scaled)
+}

@@ -1,0 +1,60 @@
+package dag
+
+import "testing"
+
+// FuzzBuilder drives the builder with an arbitrary byte script: the
+// builder must either reject the graph or produce one whose invariants
+// hold (valid topological order, L ≤ vol, symmetric parallel relation).
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 1, 2})
+	f.Add([]byte{1})
+	f.Add([]byte{5, 0, 1, 1, 2, 2, 3, 3, 4, 0, 4})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) == 0 {
+			return
+		}
+		var b Builder
+		n := int(script[0]%16) + 1
+		for i := 0; i < n; i++ {
+			b.AddNode(int64(i%7) + 1)
+		}
+		rest := script[1:]
+		for i := 0; i+1 < len(rest); i += 2 {
+			// Deliberately unfiltered: may produce self-loops, cycles,
+			// duplicates or out-of-range endpoints — Build must catch
+			// every such case instead of panicking.
+			b.AddEdge(int(rest[i]%32)-8, int(rest[i+1]%32)-8)
+		}
+		g, err := b.Build()
+		if err != nil {
+			return
+		}
+		if g.N() != n {
+			t.Fatalf("node count changed: %d vs %d", g.N(), n)
+		}
+		pos := make([]int, g.N())
+		for i, v := range g.TopologicalOrder() {
+			pos[v] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e[0]] >= pos[e[1]] {
+				t.Fatalf("edge %v violates topological order", e)
+			}
+		}
+		if l, vol := g.LongestPath(), g.Volume(); l > vol || l < g.MaxWCET() {
+			t.Fatalf("L=%d outside [maxC=%d, vol=%d]", l, g.MaxWCET(), vol)
+		}
+		par := g.Parallel()
+		for u := 0; u < g.N(); u++ {
+			if par[u].Contains(u) {
+				t.Fatalf("node %d parallel with itself", u)
+			}
+			par[u].ForEach(func(v int) bool {
+				if !par[v].Contains(u) {
+					t.Fatalf("parallel relation asymmetric at (%d,%d)", u, v)
+				}
+				return true
+			})
+		}
+	})
+}

@@ -1,0 +1,578 @@
+// Package experiments regenerates every table and figure of the
+// evaluation of Serrano et al. (DATE 2016): the worked example
+// (Tables I-III), the schedulability curves of Figure 2 (m = 4, 8, 16),
+// the second-group comparison reported in the text of Section VI-B, and
+// the analysis-runtime measurements.
+//
+// Results are returned as data and rendered as CSV and ASCII charts;
+// cmd/lpdag-experiments is the command-line front end and the root
+// bench_test.go exposes one benchmark per table/figure.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/blocking"
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/rta"
+	"repro/internal/sim"
+	"repro/internal/textplot"
+)
+
+// Fig2Config parameterises one schedulability-curve experiment (one
+// sub-figure of Figure 2).
+type Fig2Config struct {
+	M            int     // cores (paper: 4, 8, 16)
+	UStart       float64 // first utilization (paper: 1)
+	UEnd         float64 // last utilization (paper: m)
+	UStep        float64 // grid step (paper plots ~0.25 for m=4)
+	SetsPerPoint int     // task sets per utilization (paper: 300)
+	Seed         int64
+	Group        gen.Group
+	Backend      core.Backend
+	Workers      int // concurrent analyses; 0 = GOMAXPROCS
+
+	// SeqProbOverride, when non-zero, overrides the mixed population's
+	// sequential-task probability (calibration knob; the paper does not
+	// print the mixing ratio).
+	SeqProbOverride float64
+}
+
+// PaperFig2Config returns the Section VI configuration for a core count,
+// with the sample count configurable (the paper uses 300 per point).
+func PaperFig2Config(m, setsPerPoint int, seed int64) Fig2Config {
+	step := 0.25
+	if m >= 8 {
+		step = 0.5
+	}
+	return Fig2Config{
+		M: m, UStart: 1, UEnd: float64(m), UStep: step,
+		SetsPerPoint: setsPerPoint, Seed: seed, Group: gen.GroupMixed,
+	}
+}
+
+// CurvePoint is the outcome at one utilization: the percentage of
+// schedulable task sets per method.
+type CurvePoint struct {
+	U   float64
+	Pct map[core.Method]float64
+}
+
+// Figure2 sweeps the utilization grid and returns one point per
+// utilization. Task-set generation is deterministic in Seed; analyses
+// run concurrently.
+func Figure2(cfg Fig2Config) []CurvePoint {
+	if cfg.UStep <= 0 {
+		cfg.UStep = 0.25
+	}
+	var us []float64
+	for u := cfg.UStart; u <= cfg.UEnd+1e-9; u += cfg.UStep {
+		us = append(us, math.Round(u*1e6)/1e6)
+	}
+	points := make([]CurvePoint, len(us))
+	for i, u := range us {
+		points[i] = runPoint(cfg, u, cfg.Seed+int64(i)*7919)
+	}
+	return points
+}
+
+// runPoint generates SetsPerPoint task sets at utilization u and counts
+// the schedulable fraction per method.
+func runPoint(cfg Fig2Config, u float64, seed int64) CurvePoint {
+	n := cfg.SetsPerPoint
+	if n < 1 {
+		n = 1
+	}
+	// Generate deterministically up front; analyze concurrently.
+	params := gen.PaperParams(cfg.Group)
+	if cfg.SeqProbOverride > 0 {
+		params.SeqProb = cfg.SeqProbOverride
+	}
+	g := gen.New(seed, params)
+	sets := make([]*model.TaskSet, n)
+	for i := range sets {
+		sets[i] = g.TaskSet(u)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	counts := make(map[core.Method]int, 3)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for _, ts := range sets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ts *model.TaskSet) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			local := make(map[core.Method]bool, 3)
+			for _, method := range core.Methods() {
+				a := core.MustNew(core.Options{Cores: cfg.M, Method: method, Backend: cfg.Backend})
+				ok, err := a.Schedulable(ts)
+				if err != nil {
+					panic(err) // sets are pre-validated; unreachable
+				}
+				local[method] = ok
+			}
+			mu.Lock()
+			for m, ok := range local {
+				if ok {
+					counts[m]++
+				}
+			}
+			mu.Unlock()
+		}(ts)
+	}
+	wg.Wait()
+
+	pct := make(map[core.Method]float64, 3)
+	for _, m := range core.Methods() {
+		pct[m] = 100 * float64(counts[m]) / float64(n)
+	}
+	return CurvePoint{U: u, Pct: pct}
+}
+
+// CurveCSV renders points as "U,FP-ideal,LP-ILP,LP-max" rows.
+func CurveCSV(points []CurvePoint) string {
+	var b strings.Builder
+	b.WriteString("utilization,FP-ideal,LP-ILP,LP-max\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%.3f,%.2f,%.2f,%.2f\n",
+			p.U, p.Pct[core.FPIdeal], p.Pct[core.LPILP], p.Pct[core.LPMax])
+	}
+	return b.String()
+}
+
+// CurveChart renders points as an ASCII chart in the style of Figure 2.
+func CurveChart(title string, points []CurvePoint) string {
+	xs := make([]float64, len(points))
+	ys := map[core.Method][]float64{}
+	for i, p := range points {
+		xs[i] = p.U
+		for _, m := range core.Methods() {
+			ys[m] = append(ys[m], p.Pct[m])
+		}
+	}
+	series := []textplot.Series{
+		{Name: "FP-ideal", Marker: '*', Y: ys[core.FPIdeal]},
+		{Name: "LP-ILP", Marker: 'o', Y: ys[core.LPILP]},
+		{Name: "LP-max", Marker: '+', Y: ys[core.LPMax]},
+	}
+	return textplot.Chart(title, xs, series, 64, 16, 0, 100)
+}
+
+// CheckCurveShape verifies the qualitative properties the paper reports
+// for a Figure 2 curve: the per-point ordering FP-ideal ≥ LP-ILP ≥
+// LP-max, (near-)full schedulability at the lowest utilization, and
+// collapse ordering — LP-max reaches 0% at or before LP-ILP, which
+// reaches 0% at or before FP-ideal. It returns a list of violations
+// (empty = shape holds).
+func CheckCurveShape(points []CurvePoint) []string {
+	var issues []string
+	for _, p := range points {
+		fp, li, lm := p.Pct[core.FPIdeal], p.Pct[core.LPILP], p.Pct[core.LPMax]
+		if li > fp+1e-9 || lm > li+1e-9 {
+			issues = append(issues,
+				fmt.Sprintf("ordering violated at U=%.2f: FP=%.1f ILP=%.1f MAX=%.1f", p.U, fp, li, lm))
+		}
+	}
+	if len(points) > 0 {
+		first := points[0]
+		for _, m := range core.Methods() {
+			if first.Pct[m] < 90 {
+				issues = append(issues, fmt.Sprintf(
+					"%v starts at %.1f%% (< 90%%) at U=%.2f", m, first.Pct[m], first.U))
+			}
+		}
+	}
+	zero := func(method core.Method) float64 {
+		for _, p := range points {
+			if p.Pct[method] == 0 {
+				return p.U
+			}
+		}
+		return math.Inf(1)
+	}
+	if zero(core.LPMax) > zero(core.LPILP) {
+		issues = append(issues, "LP-max should collapse before LP-ILP")
+	}
+	if zero(core.LPILP) > zero(core.FPIdeal) {
+		issues = append(issues, "LP-ILP should collapse before FP-ideal")
+	}
+	return issues
+}
+
+// TasksSweepConfig parameterises the task-count sweep: the alternative
+// reading of Figure 2(c), whose printed x-axis is "Number of tasks"
+// (2..16) although the caption says "as a function of the utilization".
+// We regenerate both readings; this one fixes the total utilization and
+// varies the set size.
+type TasksSweepConfig struct {
+	M            int
+	U            float64 // fixed total utilization (e.g. m/4)
+	NStart, NEnd int     // task-count grid (paper axis: 2..16)
+	SetsPerPoint int
+	Seed         int64
+	Group        gen.Group
+	Backend      core.Backend
+}
+
+// TasksSweepPoint is the outcome at one task count.
+type TasksSweepPoint struct {
+	N   int
+	Pct map[core.Method]float64
+}
+
+// TasksSweep runs the task-count sweep.
+func TasksSweep(cfg TasksSweepConfig) []TasksSweepPoint {
+	if cfg.NStart < 1 {
+		cfg.NStart = 2
+	}
+	if cfg.NEnd < cfg.NStart {
+		cfg.NEnd = cfg.NStart
+	}
+	sets := cfg.SetsPerPoint
+	if sets < 1 {
+		sets = 1
+	}
+	var out []TasksSweepPoint
+	for n := cfg.NStart; n <= cfg.NEnd; n++ {
+		g := gen.New(cfg.Seed+int64(n)*104729, gen.PaperParams(cfg.Group))
+		counts := make(map[core.Method]int, 3)
+		for i := 0; i < sets; i++ {
+			ts := g.TaskSetN(n, cfg.U)
+			for _, method := range core.Methods() {
+				a := core.MustNew(core.Options{Cores: cfg.M, Method: method, Backend: cfg.Backend})
+				ok, err := a.Schedulable(ts)
+				if err != nil {
+					panic(err) // generated sets are valid; unreachable
+				}
+				if ok {
+					counts[method]++
+				}
+			}
+		}
+		pct := make(map[core.Method]float64, 3)
+		for _, m := range core.Methods() {
+			pct[m] = 100 * float64(counts[m]) / float64(sets)
+		}
+		out = append(out, TasksSweepPoint{N: n, Pct: pct})
+	}
+	return out
+}
+
+// TasksSweepCSV renders the task-count sweep as CSV.
+func TasksSweepCSV(points []TasksSweepPoint) string {
+	var b strings.Builder
+	b.WriteString("tasks,FP-ideal,LP-ILP,LP-max\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%d,%.2f,%.2f,%.2f\n",
+			p.N, p.Pct[core.FPIdeal], p.Pct[core.LPILP], p.Pct[core.LPMax])
+	}
+	return b.String()
+}
+
+// Group2Result summarises the second-group experiment of Section VI-B:
+// with uniformly highly-parallel task sets, LP-max and LP-ILP perform
+// very similarly.
+type Group2Result struct {
+	Points []CurvePoint
+	// MaxGap is the largest |LP-ILP − LP-max| percentage over the grid;
+	// MeanGap the average.
+	MaxGap  float64
+	MeanGap float64
+}
+
+// Group2 runs the Figure 2 sweep on the uniformly-parallel population.
+func Group2(cfg Fig2Config) Group2Result {
+	cfg.Group = gen.GroupParallel
+	points := Figure2(cfg)
+	res := Group2Result{Points: points}
+	if len(points) == 0 {
+		return res
+	}
+	var sum float64
+	for _, p := range points {
+		gap := math.Abs(p.Pct[core.LPILP] - p.Pct[core.LPMax])
+		sum += gap
+		if gap > res.MaxGap {
+			res.MaxGap = gap
+		}
+	}
+	res.MeanGap = sum / float64(len(points))
+	return res
+}
+
+// TimingConfig parameterises the analysis-runtime measurement of
+// Section VI-B (MATLAB+CPLEX: 0.45 s, 4.75 s, 43 min for m = 4, 8, 16;
+// the absolute Go numbers are not comparable, the growth trend is).
+type TimingConfig struct {
+	Ms      []int   // core counts to measure (paper: 4, 8, 16)
+	Sets    int     // sets per core count
+	UFrac   float64 // target utilization as a fraction of m (default 0.4)
+	Seed    int64
+	Backend core.Backend
+}
+
+// TimingResult is the measurement at one core count.
+type TimingResult struct {
+	M           int
+	Sets        int
+	Schedulable int
+	AvgPerSet   time.Duration // LP-ILP analysis wall time per set
+	TotalTime   time.Duration
+	Scenarios   int64 // p(m), the execution-scenario count the paper discusses
+}
+
+// Timing measures the LP-ILP schedulability-test runtime per task set.
+func Timing(cfg TimingConfig) []TimingResult {
+	if cfg.UFrac <= 0 {
+		cfg.UFrac = 0.4
+	}
+	if cfg.Sets < 1 {
+		cfg.Sets = 1
+	}
+	out := make([]TimingResult, 0, len(cfg.Ms))
+	for _, m := range cfg.Ms {
+		g := gen.New(cfg.Seed+int64(m), gen.PaperParams(gen.GroupMixed))
+		sets := make([]*model.TaskSet, cfg.Sets)
+		for i := range sets {
+			sets[i] = g.TaskSet(cfg.UFrac * float64(m))
+		}
+		a := core.MustNew(core.Options{Cores: m, Method: core.LPILP, Backend: cfg.Backend})
+		start := time.Now()
+		sched := 0
+		for _, ts := range sets {
+			ok, err := a.Schedulable(ts)
+			if err != nil {
+				panic(err)
+			}
+			if ok {
+				sched++
+			}
+		}
+		total := time.Since(start)
+		out = append(out, TimingResult{
+			M: m, Sets: cfg.Sets, Schedulable: sched,
+			AvgPerSet: total / time.Duration(cfg.Sets), TotalTime: total,
+			Scenarios: partition.Count(m),
+		})
+	}
+	return out
+}
+
+// TimingTable renders timing results with the paper's reference numbers.
+func TimingTable(results []TimingResult) string {
+	paper := map[int]string{4: "0.45 s", 8: "4.75 s", 16: "43 min"}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %10s %14s %12s %18s\n", "m", "p(m)", "avg/set (Go)", "sched/sets", "paper MATLAB+CPLEX")
+	for _, r := range results {
+		ref := paper[r.M]
+		if ref == "" {
+			ref = "-"
+		}
+		fmt.Fprintf(&b, "%4d %10d %14s %7d/%-4d %18s\n",
+			r.M, r.Scenarios, r.AvgPerSet.Round(time.Microsecond), r.Schedulable, r.Sets, ref)
+	}
+	return b.String()
+}
+
+// TableIText renders the worked example's µ table (Table I).
+func TableIText() string {
+	graphs := fixture.LowerPriorityGraphs()
+	mus := blocking.MuTables(graphs, fixture.M, blocking.Combinatorial)
+	var b strings.Builder
+	b.WriteString("Table I: worst-case workload µ_i[c] (Figure 1 tasks, m=4)\n")
+	fmt.Fprintf(&b, "%4s %8s %8s %8s %8s\n", "c", "µ1[c]", "µ2[c]", "µ3[c]", "µ4[c]")
+	for c := 1; c <= fixture.M; c++ {
+		fmt.Fprintf(&b, "%4d %8d %8d %8d %8d\n", c, mus[0][c-1], mus[1][c-1], mus[2][c-1], mus[3][c-1])
+	}
+	return b.String()
+}
+
+// TableIIText renders the execution scenarios of e_4 (Table II).
+func TableIIText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: execution scenarios e_%d (p(%d) = %d)\n",
+		fixture.M, fixture.M, partition.Count(fixture.M))
+	scenarios := partition.All(fixture.M)
+	// Present in the paper's order: by decreasing cardinality, then
+	// lexicographic.
+	sort.SliceStable(scenarios, func(i, j int) bool {
+		return len(scenarios[i]) > len(scenarios[j])
+	})
+	for i, s := range scenarios {
+		fmt.Fprintf(&b, "  s%d = %-14s |s| = %d\n", i+1, s.String(), s.Size())
+	}
+	return b.String()
+}
+
+// TableIIIText renders the per-scenario overall workloads and the Δ
+// values of the worked example (Table III and Section IV-B3).
+func TableIIIText() string {
+	graphs := fixture.LowerPriorityGraphs()
+	mus := blocking.MuTables(graphs, fixture.M, blocking.Combinatorial)
+	var b strings.Builder
+	b.WriteString("Table III: overall worst-case workload ρ_k[s_l] (m=4)\n")
+	for _, s := range partition.All(fixture.M) {
+		rho := blocking.ScenarioWorkload(mus, fixture.M, s, blocking.Combinatorial)
+		fmt.Fprintf(&b, "  ρ[%-14s] = %d\n", s.String(), rho)
+	}
+	in := blocking.Compute(graphs, fixture.M, blocking.LPILP, blocking.Combinatorial)
+	mx := blocking.Compute(graphs, fixture.M, blocking.LPMax, blocking.Combinatorial)
+	fmt.Fprintf(&b, "LP-ILP: Δ⁴ = %d, Δ³ = %d   (paper: 19, 15)\n", in.DeltaM, in.DeltaM1)
+	fmt.Fprintf(&b, "LP-max: Δ⁴ = %d, Δ³ = %d   (paper: 20, 16)\n", mx.DeltaM, mx.DeltaM1)
+	return b.String()
+}
+
+// VariantPoint is the outcome at one utilization for the analysis
+// variants of the ablation study: plain LP-ILP, LP-ILP with the
+// final-NPR refinement (future-work (ii)), and LP-ILP with the repeated
+// blocking term p·Δ^{m-1} ablated (diagnostic only — unsound as a test,
+// it isolates how much schedulability that term costs).
+type VariantPoint struct {
+	U       float64
+	Plain   float64
+	Refined float64
+	Ablated float64
+}
+
+// Variants sweeps the utilization grid with the three LP-ILP variants.
+func Variants(cfg Fig2Config) []VariantPoint {
+	if cfg.UStep <= 0 {
+		cfg.UStep = 0.25
+	}
+	var out []VariantPoint
+	idx := 0
+	for u := cfg.UStart; u <= cfg.UEnd+1e-9; u += cfg.UStep {
+		uu := math.Round(u*1e6) / 1e6
+		seed := cfg.Seed + int64(idx)*7919
+		idx++
+		params := gen.PaperParams(cfg.Group)
+		if cfg.SeqProbOverride > 0 {
+			params.SeqProb = cfg.SeqProbOverride
+		}
+		g := gen.New(seed, params)
+		n := cfg.SetsPerPoint
+		if n < 1 {
+			n = 1
+		}
+		var plain, refined, ablated int
+		for i := 0; i < n; i++ {
+			ts := g.TaskSet(uu)
+			for vi, vcfg := range []rta.Config{
+				{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend},
+				{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend, FinalNPRRefinement: true},
+				{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend, AblateRepeatedBlocking: true},
+			} {
+				res, err := rta.Analyze(ts, vcfg)
+				if err != nil {
+					panic(err) // generated sets are valid; unreachable
+				}
+				if res.Schedulable {
+					switch vi {
+					case 0:
+						plain++
+					case 1:
+						refined++
+					case 2:
+						ablated++
+					}
+				}
+			}
+		}
+		out = append(out, VariantPoint{
+			U:       uu,
+			Plain:   100 * float64(plain) / float64(n),
+			Refined: 100 * float64(refined) / float64(n),
+			Ablated: 100 * float64(ablated) / float64(n),
+		})
+	}
+	return out
+}
+
+// VariantsCSV renders the variant sweep as CSV.
+func VariantsCSV(points []VariantPoint) string {
+	var b strings.Builder
+	b.WriteString("utilization,LP-ILP,LP-ILP+finalNPR,LP-ILP-noRepeatBlocking\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%.3f,%.2f,%.2f,%.2f\n", p.U, p.Plain, p.Refined, p.Ablated)
+	}
+	return b.String()
+}
+
+// PessimismConfig parameterises the analysis-vs-simulation gap study.
+type PessimismConfig struct {
+	M       int
+	U       float64
+	Sets    int
+	Seed    int64
+	Horizon int64 // simulation length per set (default 20 max periods)
+	Backend core.Backend
+}
+
+// PessimismResult quantifies how often the LP-ILP analysis rejects a set
+// that survives simulation. Simulation covers only the synchronous
+// periodic scenario, so "survives" is necessary, not sufficient — the
+// number is an upper bound on the analysis pessimism at this point.
+type PessimismResult struct {
+	Sets          int
+	Accepted      int // analysis says schedulable
+	Rejected      int
+	RejectedAlive int     // rejected by analysis but no simulated miss
+	UpperBoundPct float64 // RejectedAlive / Sets · 100
+}
+
+// Pessimism runs the study at one (m, U) point.
+func Pessimism(cfg PessimismConfig) PessimismResult {
+	if cfg.Sets < 1 {
+		cfg.Sets = 1
+	}
+	g := gen.New(cfg.Seed, gen.PaperParams(gen.GroupMixed))
+	a := core.MustNew(core.Options{Cores: cfg.M, Method: core.LPILP, Backend: cfg.Backend})
+	res := PessimismResult{Sets: cfg.Sets}
+	for i := 0; i < cfg.Sets; i++ {
+		ts := g.TaskSet(cfg.U)
+		ok, err := a.Schedulable(ts)
+		if err != nil {
+			panic(err) // generated sets are valid; unreachable
+		}
+		if ok {
+			res.Accepted++
+			continue
+		}
+		res.Rejected++
+		horizon := cfg.Horizon
+		if horizon <= 0 {
+			var maxT int64
+			for _, t := range ts.Tasks {
+				if t.Period > maxT {
+					maxT = t.Period
+				}
+			}
+			horizon = 20 * maxT
+		}
+		sr, err := sim.Run(ts, sim.Config{M: cfg.M, Duration: horizon})
+		if err != nil {
+			panic(err)
+		}
+		if sr.Misses == 0 {
+			res.RejectedAlive++
+		}
+	}
+	res.UpperBoundPct = 100 * float64(res.RejectedAlive) / float64(res.Sets)
+	return res
+}

@@ -1,0 +1,310 @@
+// Package gen generates random sporadic DAG task sets following the
+// simulation environment of Melani et al. (ECRTS 2015), which is the
+// generator the evaluation of Serrano et al. (DATE 2016) uses
+// (Section VI-A).
+//
+// DAGs are grown by recursive fork-join expansion: every non-terminal
+// node forks into up to NPar parallel sub-graphs, each of which
+// terminates with probability PTerm or keeps expanding with probability
+// PPar, down to a nesting depth that caps the longest path. Node WCETs
+// are uniform in [CMin, CMax], the node count is capped at MaxNodes, the
+// longest path at MaxPathLen nodes.
+//
+// Two task populations mirror the paper's two experiment groups:
+//
+//   - GroupMixed: tasks alternate between highly parallel (data-flow) and
+//     very limited parallelism or fully sequential (control-flow) —
+//     "very common in the embedded domain";
+//   - GroupParallel: every task highly parallel with similar widths —
+//     "very common in the high-performance domain".
+//
+// Periods are drawn uniformly from [L, vol/β] (so each task's utilization
+// lies in [β, vol/L]), deadlines are implicit (D = T), and task sets are
+// assembled by adding tasks until a target utilization is reached, the
+// last period being stretched so the total matches the target.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+	"repro/internal/model"
+)
+
+// DAGParams control the fork-join expansion of a single task graph.
+type DAGParams struct {
+	PTerm      float64 // probability a sub-graph is a terminal node (paper: 0.4)
+	PPar       float64 // probability it keeps expanding (paper: 0.6)
+	NPar       int     // maximum parallel branches of a fork (paper: 6)
+	MaxNodes   int     // maximum NPRs per DAG (paper: 30)
+	MaxPathLen int     // maximum nodes on any path (paper: 7)
+	CMin, CMax int64   // node WCET range (paper: [1, 100])
+}
+
+// PaperDAGParams returns the Section VI-A parameters.
+func PaperDAGParams() DAGParams {
+	return DAGParams{
+		PTerm:      0.4,
+		PPar:       0.6,
+		NPar:       6,
+		MaxNodes:   30,
+		MaxPathLen: 7,
+		CMin:       1,
+		CMax:       100,
+	}
+}
+
+// Group selects the task population of Section VI-A.
+type Group int
+
+// Task populations.
+const (
+	// GroupMixed mixes highly parallel and (almost) sequential tasks
+	// (the paper's first group).
+	GroupMixed Group = iota
+	// GroupParallel uses only highly parallel tasks with similar widths
+	// (the paper's second group).
+	GroupParallel
+)
+
+func (g Group) String() string {
+	switch g {
+	case GroupMixed:
+		return "mixed"
+	case GroupParallel:
+		return "parallel"
+	}
+	return fmt.Sprintf("Group(%d)", int(g))
+}
+
+// Params configure a Generator.
+type Params struct {
+	DAG   DAGParams
+	Group Group
+	// Beta is the minimum task utilization β: periods are drawn from
+	// [L, vol/Beta] (paper: 0.5).
+	Beta float64
+	// SeqProb is, for GroupMixed, the probability that a task is
+	// (almost) sequential. The paper does not print the mixing ratio;
+	// one half matches its description of the group. Default 0.5.
+	SeqProb float64
+}
+
+// PaperParams returns the full Section VI-A configuration for a group.
+func PaperParams(group Group) Params {
+	return Params{DAG: PaperDAGParams(), Group: group, Beta: 0.5, SeqProb: 0.5}
+}
+
+// Generator produces random tasks and task sets, deterministically from
+// its seed.
+type Generator struct {
+	rng    *rand.Rand
+	params Params
+	nTasks int
+}
+
+// New returns a Generator with the given seed and parameters.
+func New(seed int64, params Params) *Generator {
+	if params.DAG.NPar < 2 {
+		params.DAG.NPar = 2
+	}
+	if params.DAG.MaxNodes < 1 {
+		params.DAG.MaxNodes = 1
+	}
+	if params.DAG.MaxPathLen < 1 {
+		params.DAG.MaxPathLen = 1
+	}
+	if params.DAG.CMin < 1 {
+		params.DAG.CMin = 1
+	}
+	if params.DAG.CMax < params.DAG.CMin {
+		params.DAG.CMax = params.DAG.CMin
+	}
+	if params.Beta <= 0 || params.Beta > 1 {
+		params.Beta = 0.5
+	}
+	if params.SeqProb <= 0 || params.SeqProb >= 1 {
+		params.SeqProb = 0.5
+	}
+	return &Generator{rng: rand.New(rand.NewSource(seed)), params: params}
+}
+
+// Graph generates one DAG with the generator's parameters, choosing the
+// population-appropriate shape.
+func (g *Generator) Graph() *dag.Graph {
+	if g.params.Group == GroupMixed && g.rng.Float64() < g.params.SeqProb {
+		return g.sequentialGraph()
+	}
+	return g.parallelGraph()
+}
+
+// sequentialGraph emits a chain — the control-flow tasks of the
+// embedded-domain population. Chains use at least three NPRs so that the
+// sequential tasks are real programs rather than dust (a one-node task
+// with WCET ~U[1,100] would have a deadline smaller than a single
+// blocking NPR of its neighbours, drowning the low-utilization end of
+// every curve in structural failures the paper does not show).
+func (g *Generator) sequentialGraph() *dag.Graph {
+	var b dag.Builder
+	lo := 3
+	if lo > g.params.DAG.MaxPathLen {
+		lo = g.params.DAG.MaxPathLen
+	}
+	n := lo + g.rng.Intn(g.params.DAG.MaxPathLen-lo+1)
+	prev := -1
+	for i := 0; i < n; i++ {
+		v := b.AddNode(g.wcet())
+		if prev >= 0 {
+			b.AddEdge(prev, v)
+		}
+		prev = v
+	}
+	return b.MustBuild()
+}
+
+// parallelGraph grows a nested fork-join with the paper's expansion
+// probabilities. Depth is measured in fork nestings; each nesting adds a
+// fork and a join node to every path through it, so the path-length cap
+// bounds the admissible depth.
+func (g *Generator) parallelGraph() *dag.Graph {
+	var b dag.Builder
+	budget := g.params.DAG.MaxNodes
+	maxDepth := (g.params.DAG.MaxPathLen - 1) / 2 // nodes on a path of d nestings: 2d+1
+
+	// expand builds a sub-DAG with a unique source and sink and returns
+	// them. remaining path budget is tracked via depth.
+	var expand func(depth int) (src, sink int)
+	expand = func(depth int) (int, int) {
+		terminal := depth >= maxDepth || budget < 1+2*2 || // fork+join+2 branches minimum
+			g.rng.Float64() < g.params.DAG.PTerm/(g.params.DAG.PTerm+g.params.DAG.PPar)
+		if terminal {
+			v := b.AddNode(g.wcet())
+			budget--
+			return v, v
+		}
+		fork := b.AddNode(g.wcet())
+		join := b.AddNode(g.wcet())
+		budget -= 2
+		nBranch := 2 + g.rng.Intn(g.params.DAG.NPar-1)
+		for i := 0; i < nBranch; i++ {
+			if budget < 1 {
+				break
+			}
+			s, t := expand(depth + 1)
+			b.AddEdge(fork, s)
+			b.AddEdge(t, join)
+		}
+		return fork, join
+	}
+	// The root expansion must fork at least once for the task to be
+	// parallel, so bypass the terminal coin at depth 0 when possible.
+	fork := b.AddNode(g.wcet())
+	join := b.AddNode(g.wcet())
+	budget -= 2
+	nBranch := 2 + g.rng.Intn(g.params.DAG.NPar-1)
+	for i := 0; i < nBranch; i++ {
+		if budget < 1 {
+			break
+		}
+		s, t := expand(1)
+		b.AddEdge(fork, s)
+		b.AddEdge(t, join)
+	}
+	return b.MustBuild()
+}
+
+func (g *Generator) wcet() int64 {
+	return g.params.DAG.CMin + g.rng.Int63n(g.params.DAG.CMax-g.params.DAG.CMin+1)
+}
+
+// Task wraps a fresh graph into a task with an implicit deadline. The
+// task utilization is drawn uniformly from [β, 1] and the period set to
+// vol/U (never below L): β is the paper's minimum task utilization, and
+// capping single-task utilization at 1 reproduces the paper's
+// near-complete schedulability at low total utilizations (tasks with
+// T ≈ L would otherwise be born unschedulable under any blocking).
+func (g *Generator) Task() *model.Task {
+	graph := g.Graph()
+	g.nTasks++
+	l := graph.LongestPath()
+	vol := graph.Volume()
+	u := g.params.Beta + g.rng.Float64()*(1-g.params.Beta)
+	period := int64(float64(vol)/u + 0.5)
+	if period < l {
+		period = l
+	}
+	return &model.Task{
+		Name:     fmt.Sprintf("tau%d", g.nTasks),
+		G:        graph,
+		Deadline: period,
+		Period:   period,
+	}
+}
+
+// TaskSet assembles tasks until the total utilization reaches targetU,
+// then scales every period by the common factor ΣU/targetU so the total
+// matches the target as closely as integer periods allow (the standard
+// assembly of utilization-sweep evaluations: the factor is ≥ 1, so
+// deadlines only gain slack), and finally sorts deadline-monotonically
+// (rate-monotonic for these implicit-deadline sets). The set always
+// contains at least one task.
+func (g *Generator) TaskSet(targetU float64) *model.TaskSet {
+	if targetU <= 0 {
+		targetU = 0.1
+	}
+	var tasks []*model.Task
+	sum := 0.0
+	for sum < targetU {
+		t := g.Task()
+		tasks = append(tasks, t)
+		sum += t.Utilization()
+	}
+	factor := sum / targetU
+	if factor > 1 {
+		for _, t := range tasks {
+			period := int64(float64(t.Period)*factor + 0.5)
+			if period < t.G.LongestPath() {
+				period = t.G.LongestPath()
+			}
+			t.Period = period
+			t.Deadline = period
+		}
+	}
+	ts := &model.TaskSet{Tasks: tasks}
+	ts.SortDeadlineMonotonic()
+	return ts
+}
+
+// TaskSetN assembles exactly n tasks and scales every period by the
+// common factor ΣU/targetU so the total utilization matches the target
+// (periods are clamped at L when the factor compresses them below the
+// longest path, so very aggressive targets saturate instead of producing
+// invalid tasks). Used by the task-count sweep — the alternative reading
+// of Figure 2(c), whose printed x-axis is "Number of tasks".
+func (g *Generator) TaskSetN(n int, targetU float64) *model.TaskSet {
+	if n < 1 {
+		n = 1
+	}
+	if targetU <= 0 {
+		targetU = 0.1
+	}
+	tasks := make([]*model.Task, n)
+	sum := 0.0
+	for i := range tasks {
+		tasks[i] = g.Task()
+		sum += tasks[i].Utilization()
+	}
+	factor := sum / targetU
+	for _, t := range tasks {
+		period := int64(float64(t.Period)*factor + 0.5)
+		if period < t.G.LongestPath() {
+			period = t.G.LongestPath()
+		}
+		t.Period = period
+		t.Deadline = period
+	}
+	ts := &model.TaskSet{Tasks: tasks}
+	ts.SortDeadlineMonotonic()
+	return ts
+}

@@ -1,0 +1,181 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperParamsDefaults(t *testing.T) {
+	p := PaperDAGParams()
+	if p.PTerm != 0.4 || p.PPar != 0.6 || p.NPar != 6 || p.MaxNodes != 30 ||
+		p.MaxPathLen != 7 || p.CMin != 1 || p.CMax != 100 {
+		t.Fatalf("paper parameters drifted: %+v", p)
+	}
+	if pp := PaperParams(GroupMixed); pp.Beta != 0.5 {
+		t.Fatalf("β = %v, want 0.5", pp.Beta)
+	}
+}
+
+func TestGraphRespectsCaps(t *testing.T) {
+	for _, group := range []Group{GroupMixed, GroupParallel} {
+		g := New(1, PaperParams(group))
+		for i := 0; i < 500; i++ {
+			gr := g.Graph()
+			if gr.N() > 30 {
+				t.Fatalf("%v: %d nodes > 30", group, gr.N())
+			}
+			// Longest path cap is in nodes; convert weights: count nodes
+			// on the critical path.
+			if got := len(gr.CriticalPath()); got > 7 {
+				t.Fatalf("%v: critical path has %d nodes > 7", group, got)
+			}
+			for v := 0; v < gr.N(); v++ {
+				if c := gr.WCET(v); c < 1 || c > 100 {
+					t.Fatalf("%v: WCET %d outside [1,100]", group, c)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupParallelIsParallel(t *testing.T) {
+	g := New(2, PaperParams(GroupParallel))
+	for i := 0; i < 200; i++ {
+		gr := g.Graph()
+		if gr.Width() < 2 {
+			t.Fatalf("GroupParallel produced a sequential DAG (width %d, n %d)",
+				gr.Width(), gr.N())
+		}
+	}
+}
+
+func TestGroupMixedHasBothKinds(t *testing.T) {
+	g := New(3, PaperParams(GroupMixed))
+	seq, par := 0, 0
+	for i := 0; i < 300; i++ {
+		if g.Graph().Width() == 1 {
+			seq++
+		} else {
+			par++
+		}
+	}
+	if seq == 0 || par == 0 {
+		t.Fatalf("mixed population not mixed: %d sequential, %d parallel", seq, par)
+	}
+	// Roughly half each (binomial, generous bounds).
+	if seq < 60 || par < 60 {
+		t.Errorf("mix ratio suspicious: %d sequential vs %d parallel", seq, par)
+	}
+}
+
+func TestTaskUtilizationRange(t *testing.T) {
+	g := New(4, PaperParams(GroupParallel))
+	for i := 0; i < 300; i++ {
+		task := g.Task()
+		if err := task.Validate(); err != nil {
+			t.Fatalf("generated invalid task: %v", err)
+		}
+		u := task.Utilization()
+		maxU := float64(task.G.Volume()) / float64(task.G.LongestPath())
+		// β lower bound can be slightly undercut by integer rounding of
+		// the period; allow a small tolerance.
+		if u < 0.45 || u > maxU+1e-9 {
+			t.Fatalf("task utilization %.3f outside [β≈0.5, vol/L=%.3f]", u, maxU)
+		}
+		if task.Deadline != task.Period {
+			t.Fatal("deadlines must be implicit")
+		}
+	}
+}
+
+func TestTaskSetHitsTargetUtilization(t *testing.T) {
+	g := New(5, PaperParams(GroupMixed))
+	for _, target := range []float64{0.8, 2.0, 3.5, 6.0} {
+		for i := 0; i < 30; i++ {
+			ts := g.TaskSet(target)
+			if err := ts.Validate(); err != nil {
+				t.Fatalf("invalid set: %v", err)
+			}
+			got := ts.Utilization()
+			// Integer periods allow small deviation; the last-task
+			// stretch may also be clamped by T ≥ L.
+			if math.Abs(got-target) > 0.1*target+0.05 {
+				t.Fatalf("target U=%.2f: got %.3f", target, got)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(42, PaperParams(GroupMixed))
+	b := New(42, PaperParams(GroupMixed))
+	for i := 0; i < 20; i++ {
+		ta, tb := a.Task(), b.Task()
+		if ta.Period != tb.Period || ta.G.N() != tb.G.N() || ta.G.Volume() != tb.G.Volume() {
+			t.Fatalf("same seed diverged at task %d", i)
+		}
+	}
+	c := New(43, PaperParams(GroupMixed))
+	same := true
+	for i := 0; i < 20; i++ {
+		ta, tc := a.Task(), c.Task()
+		if ta.Period != tc.Period || ta.G.Volume() != tc.G.Volume() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestTaskSetSortedByPriority(t *testing.T) {
+	g := New(6, PaperParams(GroupMixed))
+	ts := g.TaskSet(3.0)
+	for i := 1; i < ts.N(); i++ {
+		if ts.Tasks[i-1].Deadline > ts.Tasks[i].Deadline {
+			t.Fatalf("set not deadline-monotonic at %d", i)
+		}
+	}
+}
+
+func TestDegenerateParamsClamped(t *testing.T) {
+	g := New(7, Params{DAG: DAGParams{}, Beta: -1, SeqProb: 2})
+	// Must not panic and must produce valid tasks.
+	for i := 0; i < 50; i++ {
+		if err := g.Task().Validate(); err != nil {
+			t.Fatalf("clamped generator produced invalid task: %v", err)
+		}
+	}
+	ts := g.TaskSet(-5) // degenerate target clamps to something positive
+	if ts.N() < 1 {
+		t.Fatal("empty set")
+	}
+}
+
+// TestGraphAlwaysSingleSource uses testing/quick over seeds: the paper's
+// generator always emits single-source DAGs (so Algorithm 1 is exact on
+// this population — a property the dag package relies on in tests).
+func TestGraphAlwaysSingleSource(t *testing.T) {
+	f := func(seed int64) bool {
+		g := New(seed, PaperParams(GroupParallel))
+		for i := 0; i < 20; i++ {
+			if len(g.Graph().Sources()) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	if GroupMixed.String() != "mixed" || GroupParallel.String() != "parallel" {
+		t.Error("group strings wrong")
+	}
+	if Group(9).String() == "" {
+		t.Error("unknown group must render")
+	}
+}

@@ -1,0 +1,365 @@
+// Package ilp provides an exact 0-1 integer linear program solver and the
+// two ILP encodings of Serrano et al. (DATE 2016): the per-task worst-case
+// workload µ_i[c] (Section V-A2) and the per-scenario overall workload
+// ρ_k[s_l] (Section V-B).
+//
+// The paper solved these with IBM ILOG CPLEX; this package replaces it
+// with a self-contained branch-and-bound over binary variables with
+// activity-based constraint propagation. It is exact (tests cross-check
+// it against brute force and against the combinatorial solvers in
+// internal/clique and internal/matching) but deliberately simple — the
+// production path of the analysis uses the combinatorial solvers, and
+// this one exists for paper fidelity and for the ablation benchmarks.
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the comparison direction of a constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // Σ a_j x_j ≤ rhs
+	GE              // Σ a_j x_j ≥ rhs
+	EQ              // Σ a_j x_j = rhs
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Sense(%d)", int(s))
+}
+
+// Term is one coefficient-variable product.
+type Term struct {
+	Var   int
+	Coeff int64
+}
+
+// Constraint is a linear constraint over binary variables.
+type Constraint struct {
+	Name  string
+	Terms []Term
+	Sense Sense
+	RHS   int64
+}
+
+// Problem is a maximization 0-1 ILP.
+type Problem struct {
+	NumVars     int
+	Objective   []int64 // length NumVars; maximize Σ Objective[j]·x[j]
+	Constraints []Constraint
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Feasible bool
+	Value    int64
+	X        []bool
+	Nodes    int64 // branch-and-bound nodes explored
+}
+
+// Validate reports structural errors: missing objective entries or
+// out-of-range variable indices.
+func (p *Problem) Validate() error {
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("ilp: objective has %d entries for %d vars", len(p.Objective), p.NumVars)
+	}
+	for ci, c := range p.Constraints {
+		for _, t := range c.Terms {
+			if t.Var < 0 || t.Var >= p.NumVars {
+				return fmt.Errorf("ilp: constraint %d (%s) references var %d out of range",
+					ci, c.Name, t.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// DefaultNodeLimit bounds the search so that a pathological instance
+// fails loudly instead of hanging. The paper-sized instances explored in
+// this repository stay far below it.
+const DefaultNodeLimit = 50_000_000
+
+// Solve runs branch and bound to optimality with the default node limit.
+// It panics if the problem fails Validate, mirroring the programming
+// error. It returns Feasible == false for infeasible problems.
+func (p *Problem) Solve() Solution {
+	s, err := p.SolveWithLimit(DefaultNodeLimit)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SolveWithLimit is Solve with an explicit search-node budget. It returns
+// an error if the budget is exhausted before optimality is proven.
+func (p *Problem) SolveWithLimit(maxNodes int64) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	s := &solver{p: p, maxNodes: maxNodes}
+	return s.run()
+}
+
+type solver struct {
+	p        *Problem
+	maxNodes int64
+
+	assign   []int8 // -1 unknown, 0, 1
+	nodes    int64
+	bestVal  int64
+	bestSet  bool
+	bestX    []bool
+	order    []int // variable branching order (|objective| descending)
+	overflow bool
+}
+
+func (s *solver) run() (Solution, error) {
+	n := s.p.NumVars
+	s.assign = make([]int8, n)
+	for i := range s.assign {
+		s.assign[i] = -1
+	}
+	s.order = make([]int, n)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	// Branch on high-|objective| variables first; stable order keeps the
+	// search deterministic.
+	obj := s.p.Objective
+	abs := func(x int64) int64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	sortByKey(s.order, func(v int) int64 { return -abs(obj[v]) })
+
+	s.branch()
+	if s.overflow {
+		return Solution{}, fmt.Errorf("ilp: node limit %d exhausted", s.maxNodes)
+	}
+	if !s.bestSet {
+		return Solution{Feasible: false, Nodes: s.nodes}, nil
+	}
+	return Solution{Feasible: true, Value: s.bestVal, X: s.bestX, Nodes: s.nodes}, nil
+}
+
+// sortByKey sorts ints by an int64 key, stably, without reflection.
+func sortByKey(a []int, key func(int) int64) {
+	// Insertion sort: n is small (hundreds at most) and this preserves
+	// determinism with zero allocation.
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		k := key(v)
+		j := i - 1
+		for j >= 0 && key(a[j]) > k {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// propagate applies activity-based inference until fixpoint. It returns
+// false on infeasibility and appends every variable it fixes to trail.
+func (s *solver) propagate(trail *[]int) bool {
+	changed := true
+	for changed {
+		changed = false
+		for ci := range s.p.Constraints {
+			c := &s.p.Constraints[ci]
+			var minAct, maxAct int64
+			for _, t := range c.Terms {
+				switch s.assign[t.Var] {
+				case 1:
+					minAct += t.Coeff
+					maxAct += t.Coeff
+				case -1:
+					if t.Coeff > 0 {
+						maxAct += t.Coeff
+					} else {
+						minAct += t.Coeff
+					}
+				}
+			}
+			needLE := c.Sense == LE || c.Sense == EQ
+			needGE := c.Sense == GE || c.Sense == EQ
+			if needLE && minAct > c.RHS {
+				return false
+			}
+			if needGE && maxAct < c.RHS {
+				return false
+			}
+			for _, t := range c.Terms {
+				if s.assign[t.Var] != -1 {
+					continue
+				}
+				fixed := int8(-1)
+				if needLE {
+					if t.Coeff > 0 && minAct+t.Coeff > c.RHS {
+						fixed = 0 // setting it to 1 would violate ≤
+					} else if t.Coeff < 0 && minAct-t.Coeff > c.RHS {
+						fixed = 1 // setting it to 0 would violate ≤
+					}
+				}
+				if needGE {
+					if t.Coeff > 0 && maxAct-t.Coeff < c.RHS {
+						if fixed == 0 {
+							return false
+						}
+						fixed = 1 // must take its positive contribution
+					} else if t.Coeff < 0 && maxAct+t.Coeff < c.RHS {
+						if fixed == 1 {
+							return false
+						}
+						fixed = 0
+					}
+				}
+				if fixed != -1 {
+					s.assign[t.Var] = fixed
+					*trail = append(*trail, t.Var)
+					changed = true
+					if fixed == 1 {
+						minAct += t.Coeff
+						maxAct += t.Coeff
+					} else {
+						if t.Coeff > 0 {
+							maxAct -= t.Coeff
+						} else {
+							minAct -= t.Coeff
+						}
+					}
+					if needLE && minAct > c.RHS {
+						return false
+					}
+					if needGE && maxAct < c.RHS {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// objBound returns the objective value of the current partial assignment
+// plus the best possible contribution of the unassigned variables.
+func (s *solver) objBound() (current, bound int64) {
+	for j, o := range s.p.Objective {
+		switch s.assign[j] {
+		case 1:
+			current += o
+			bound += o
+		case -1:
+			if o > 0 {
+				bound += o
+			}
+		}
+	}
+	return current, bound
+}
+
+func (s *solver) branch() {
+	if s.overflow {
+		return
+	}
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		s.overflow = true
+		return
+	}
+	var trail []int
+	if !s.propagate(&trail) {
+		s.undo(trail)
+		return
+	}
+	current, bound := s.objBound()
+	if s.bestSet && bound <= s.bestVal {
+		s.undo(trail)
+		return
+	}
+	// Find the first unassigned variable in branching order.
+	v := -1
+	for _, j := range s.order {
+		if s.assign[j] == -1 {
+			v = j
+			break
+		}
+	}
+	if v == -1 {
+		// Complete assignment; propagate already verified feasibility of
+		// bounds, but EQ constraints need an exact check.
+		if s.feasibleComplete() && (!s.bestSet || current > s.bestVal) {
+			s.bestSet = true
+			s.bestVal = current
+			s.bestX = make([]bool, s.p.NumVars)
+			for j, a := range s.assign {
+				s.bestX[j] = a == 1
+			}
+		}
+		s.undo(trail)
+		return
+	}
+	// Try the objective-improving value first.
+	first := int8(1)
+	if s.p.Objective[v] < 0 {
+		first = 0
+	}
+	for _, val := range [2]int8{first, 1 - first} {
+		s.assign[v] = val
+		s.branch()
+		if s.overflow {
+			break
+		}
+	}
+	s.assign[v] = -1
+	s.undo(trail)
+}
+
+func (s *solver) undo(trail []int) {
+	for _, v := range trail {
+		s.assign[v] = -1
+	}
+}
+
+// feasibleComplete evaluates every constraint exactly on a complete
+// assignment.
+func (s *solver) feasibleComplete() bool {
+	for _, c := range s.p.Constraints {
+		var act int64
+		for _, t := range c.Terms {
+			if s.assign[t.Var] == 1 {
+				act += t.Coeff
+			}
+		}
+		switch c.Sense {
+		case LE:
+			if act > c.RHS {
+				return false
+			}
+		case GE:
+			if act < c.RHS {
+				return false
+			}
+		case EQ:
+			if act != c.RHS {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// maxInt64 guards against accidental overflow in tests.
+const maxInt64 = math.MaxInt64

@@ -1,0 +1,154 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteSolve enumerates all assignments.
+func bruteSolve(p *Problem) Solution {
+	best := Solution{Feasible: false}
+	n := p.NumVars
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		ok := true
+		for _, c := range p.Constraints {
+			var act int64
+			for _, t := range c.Terms {
+				if mask&(1<<uint(t.Var)) != 0 {
+					act += t.Coeff
+				}
+			}
+			switch c.Sense {
+			case LE:
+				ok = ok && act <= c.RHS
+			case GE:
+				ok = ok && act >= c.RHS
+			case EQ:
+				ok = ok && act == c.RHS
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		var val int64
+		for j := 0; j < n; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				val += p.Objective[j]
+			}
+		}
+		if !best.Feasible || val > best.Value {
+			x := make([]bool, n)
+			for j := 0; j < n; j++ {
+				x[j] = mask&(1<<uint(j)) != 0
+			}
+			best = Solution{Feasible: true, Value: val, X: x}
+		}
+	}
+	return best
+}
+
+func randProblem(rng *rand.Rand, n int) *Problem {
+	p := &Problem{NumVars: n, Objective: make([]int64, n)}
+	for j := range p.Objective {
+		p.Objective[j] = int64(rng.Intn(41) - 10)
+	}
+	nc := 1 + rng.Intn(5)
+	for i := 0; i < nc; i++ {
+		c := Constraint{Sense: Sense(rng.Intn(3))}
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.6 {
+				c.Terms = append(c.Terms, Term{Var: j, Coeff: int64(rng.Intn(9) - 4)})
+			}
+		}
+		c.RHS = int64(rng.Intn(11) - 5)
+		if len(c.Terms) == 0 {
+			continue
+		}
+		p.Constraints = append(p.Constraints, c)
+	}
+	return p
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 400; trial++ {
+		p := randProblem(rng, 1+rng.Intn(11))
+		got := p.Solve()
+		want := bruteSolve(p)
+		if got.Feasible != want.Feasible {
+			t.Fatalf("trial %d: feasible %v, want %v", trial, got.Feasible, want.Feasible)
+		}
+		if got.Feasible && got.Value != want.Value {
+			t.Fatalf("trial %d: value %d, want %d", trial, got.Value, want.Value)
+		}
+		if got.Feasible {
+			// The returned X must actually achieve the value feasibly.
+			var val int64
+			for j, set := range got.X {
+				if set {
+					val += p.Objective[j]
+				}
+			}
+			if val != got.Value {
+				t.Fatalf("trial %d: X sums to %d, reported %d", trial, val, got.Value)
+			}
+		}
+	}
+}
+
+func TestUnconstrainedTakesPositives(t *testing.T) {
+	p := &Problem{NumVars: 4, Objective: []int64{3, -2, 0, 7}}
+	sol := p.Solve()
+	if !sol.Feasible || sol.Value != 10 {
+		t.Fatalf("got %+v, want value 10", sol)
+	}
+	if !sol.X[0] || sol.X[1] || !sol.X[3] {
+		t.Fatalf("X = %v", sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []int64{1, 1},
+		Constraints: []Constraint{
+			{Terms: []Term{{0, 1}, {1, 1}}, Sense: GE, RHS: 3},
+		},
+	}
+	if sol := p.Solve(); sol.Feasible {
+		t.Fatalf("infeasible problem reported feasible: %+v", sol)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []int64{1}}
+	if err := p.Validate(); err == nil {
+		t.Error("short objective accepted")
+	}
+	p = &Problem{NumVars: 1, Objective: []int64{1},
+		Constraints: []Constraint{{Terms: []Term{{Var: 3, Coeff: 1}}}}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range var accepted")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A problem large enough that one node is not sufficient.
+	rng := rand.New(rand.NewSource(9))
+	p := randProblem(rng, 12)
+	if _, err := p.SolveWithLimit(1); err == nil {
+		t.Error("expected node-limit error")
+	}
+}
+
+func TestSenseString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Sense strings wrong")
+	}
+	if Sense(9).String() == "" {
+		t.Error("unknown sense must still render")
+	}
+}

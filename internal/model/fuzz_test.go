@@ -1,0 +1,47 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTaskSetJSON feeds arbitrary bytes to the task-set decoder: it must
+// never panic, and anything it accepts must re-encode and re-decode to a
+// set with identical structure (round-trip stability).
+func FuzzTaskSetJSON(f *testing.F) {
+	f.Add([]byte(`{"tasks":[{"name":"x","wcet":[1],"edges":[],"deadline":5,"period":5}]}`))
+	f.Add([]byte(`{"tasks":[{"name":"y","wcet":[2,3],"edges":[[0,1]],"deadline":9,"period":9}]}`))
+	f.Add([]byte(`{"tasks":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts := new(TaskSet)
+		if err := ts.UnmarshalJSON(data); err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input must satisfy the model invariants…
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid set: %v", err)
+		}
+		// …and survive a round trip structurally intact.
+		var buf bytes.Buffer
+		if err := ts.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.N() != ts.N() {
+			t.Fatalf("round trip changed task count %d -> %d", ts.N(), back.N())
+		}
+		for i := range ts.Tasks {
+			a, b := ts.Tasks[i], back.Tasks[i]
+			if a.G.N() != b.G.N() || a.G.NumEdges() != b.G.NumEdges() ||
+				a.G.Volume() != b.G.Volume() || a.Deadline != b.Deadline || a.Period != b.Period {
+				t.Fatalf("round trip changed task %d structure", i)
+			}
+		}
+	})
+}

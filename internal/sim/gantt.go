@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Gantt renders the recorded trace as an ASCII chart, one row per core,
+// one character per `scale` time units, over [0, horizon). Each cell
+// shows the first letter of the executing task's label (task index as
+// A, B, C, … when unnamed); '.' is idle. Requires Config.RecordTrace.
+func (r *Result) Gantt(ts *model.TaskSet, horizon, scale int64) string {
+	if scale < 1 {
+		scale = 1
+	}
+	if horizon <= 0 {
+		horizon = r.Horizon
+	}
+	cols := int((horizon + scale - 1) / scale)
+	rows := make([][]byte, len(r.CoreBusy))
+	for c := range rows {
+		rows[c] = []byte(strings.Repeat(".", cols))
+	}
+	label := func(task int) byte {
+		name := ts.Tasks[task].Name
+		if name != "" {
+			return name[0]
+		}
+		return byte('A' + task%26)
+	}
+	for _, s := range r.Trace {
+		if s.Start >= horizon {
+			continue
+		}
+		end := s.End
+		if end > horizon {
+			end = horizon
+		}
+		for t := s.Start; t < end; t += scale {
+			col := int(t / scale)
+			if col < cols {
+				rows[s.Core][col] = label(s.Task)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0..%d, %d unit(s)/char\n", horizon, scale)
+	for c, row := range rows {
+		fmt.Fprintf(&b, "core%-2d |%s|\n", c, row)
+	}
+	return b.String()
+}

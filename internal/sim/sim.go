@@ -1,0 +1,327 @@
+// Package sim is a discrete-event simulator of global fixed-priority
+// scheduling with limited preemptions for sporadic DAG tasks — the
+// execution model analyzed by Serrano et al. (DATE 2016).
+//
+// Nodes of a task's DAG are non-preemptive regions: once a node starts
+// on a core it runs to completion; scheduling decisions happen only at
+// node boundaries and job releases (fixed preemption points with eager
+// preemption: whenever a core frees up, the highest-priority eligible
+// node takes it, so a newly released high-priority job preempts the
+// first lower-priority task to reach a preemption point).
+//
+// The simulator serves as a testing oracle for the analysis: every
+// simulated schedule is a legal behaviour of the sporadic task system,
+// so simulated response times must never exceed the analytic bounds of a
+// task set deemed schedulable, and a simulated deadline miss must imply
+// an "unschedulable" verdict.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	M        int   // cores
+	Duration int64 // simulate releases in [0, Duration)
+
+	// ReleaseDelay, when non-nil, returns an extra sporadic delay added
+	// to job j's inter-arrival for task i (0 = strictly periodic with
+	// synchronous start — the classic worst-case-style scenario).
+	ReleaseDelay func(task, job int) int64
+
+	// RecordTrace enables the execution trace used by the Gantt chart.
+	RecordTrace bool
+
+	// MaxJobs caps the total number of released jobs as a safety net
+	// (0 = no cap beyond Duration).
+	MaxJobs int
+}
+
+// JobStat describes one completed (or missed) job.
+type JobStat struct {
+	Task     int // task index (priority)
+	Job      int // job sequence number of the task
+	Release  int64
+	Finish   int64
+	Response int64
+	Missed   bool
+}
+
+// Span is one contiguous execution of a node on a core.
+type Span struct {
+	Core  int
+	Task  int
+	Job   int
+	Node  int
+	Start int64
+	End   int64
+}
+
+// Result aggregates a run.
+type Result struct {
+	MaxResponse []int64 // per task, max observed response time
+	Misses      int
+	Jobs        []JobStat
+	Trace       []Span // empty unless Config.RecordTrace
+	CoreBusy    []int64
+	Horizon     int64
+}
+
+// job is a released instance of a task.
+type job struct {
+	task     int
+	seq      int
+	release  int64
+	remPreds []int // remaining unfinished predecessor count per node
+	started  []bool
+	done     []bool
+	left     int // unfinished node count
+	finish   int64
+}
+
+// event is a time-stamped simulator event.
+type event struct {
+	t    int64
+	kind int // 0 release, 1 node completion
+	task int
+	seq  int
+	node int
+	core int
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	// Completions before releases at the same instant, so freed cores
+	// are visible to the newly released job's scheduling pass.
+	if q[i].kind != q[j].kind {
+		return q[i].kind > q[j].kind
+	}
+	if q[i].task != q[j].task {
+		return q[i].task < q[j].task
+	}
+	return q[i].node < q[j].node
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// readyNode identifies an eligible node of an active job.
+type readyNode struct {
+	task, seq, node int
+	release         int64
+}
+
+// Run simulates the task set and returns the aggregated result.
+func Run(ts *model.TaskSet, cfg Config) (*Result, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("sim: need at least one core, got %d", cfg.M)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("sim: non-positive duration %d", cfg.Duration)
+	}
+
+	n := ts.N()
+	res := &Result{
+		MaxResponse: make([]int64, n),
+		CoreBusy:    make([]int64, cfg.M),
+		Horizon:     cfg.Duration,
+	}
+
+	active := make(map[[2]int]*job) // (task, seq) -> job
+	pendingRelease := make(map[int][]*job)
+
+	var q eventQueue
+	heap.Init(&q)
+
+	// Schedule all releases up front (periodic plus optional sporadic
+	// delay). Jobs released at or after Duration are not created.
+	totalJobs := 0
+	for i, task := range ts.Tasks {
+		t := int64(0)
+		for seq := 0; t < cfg.Duration; seq++ {
+			heap.Push(&q, event{t: t, kind: 0, task: i, seq: seq})
+			totalJobs++
+			if cfg.MaxJobs > 0 && totalJobs >= cfg.MaxJobs {
+				break
+			}
+			delta := task.Period
+			if cfg.ReleaseDelay != nil {
+				d := cfg.ReleaseDelay(i, seq+1)
+				if d < 0 {
+					d = 0
+				}
+				delta += d
+			}
+			t += delta
+		}
+		if cfg.MaxJobs > 0 && totalJobs >= cfg.MaxJobs {
+			break
+		}
+	}
+
+	freeCores := make([]int, 0, cfg.M)
+	for c := cfg.M - 1; c >= 0; c-- {
+		freeCores = append(freeCores, c) // pop from the end → core 0 first
+	}
+	ready := make([]readyNode, 0, 64)
+	lastFinished := make(map[int]int, n) // task -> highest fully finished seq
+	for i := 0; i < n; i++ {
+		lastFinished[i] = -1
+	}
+
+	startJob := func(j *job) {
+		g := ts.Tasks[j.task].G
+		for v := 0; v < g.N(); v++ {
+			if j.remPreds[v] == 0 {
+				ready = append(ready, readyNode{j.task, j.seq, v, j.release})
+			}
+		}
+	}
+
+	// schedule assigns ready nodes to free cores, highest priority first
+	// (task index, then earlier release, then node index for
+	// determinism).
+	schedule := func(now int64) {
+		if len(freeCores) == 0 || len(ready) == 0 {
+			return
+		}
+		sort.Slice(ready, func(a, b int) bool {
+			ra, rb := ready[a], ready[b]
+			if ra.task != rb.task {
+				return ra.task < rb.task
+			}
+			if ra.seq != rb.seq {
+				return ra.seq < rb.seq
+			}
+			return ra.node < rb.node
+		})
+		for len(freeCores) > 0 && len(ready) > 0 {
+			rn := ready[0]
+			ready = ready[1:]
+			core := freeCores[len(freeCores)-1]
+			freeCores = freeCores[:len(freeCores)-1]
+			j := active[[2]int{rn.task, rn.seq}]
+			j.started[rn.node] = true
+			c := ts.Tasks[rn.task].G.WCET(rn.node)
+			end := now + c
+			res.CoreBusy[core] += c
+			heap.Push(&q, event{t: end, kind: 1, task: rn.task, seq: rn.seq, node: rn.node, core: core})
+			if cfg.RecordTrace {
+				res.Trace = append(res.Trace, Span{
+					Core: core, Task: rn.task, Job: rn.seq, Node: rn.node,
+					Start: now, End: end,
+				})
+			}
+		}
+	}
+
+	processRelease := func(ev event) {
+		task := ts.Tasks[ev.task]
+		g := task.G
+		j := &job{
+			task:     ev.task,
+			seq:      ev.seq,
+			release:  ev.t,
+			remPreds: make([]int, g.N()),
+			started:  make([]bool, g.N()),
+			done:     make([]bool, g.N()),
+			left:     g.N(),
+		}
+		for v := 0; v < g.N(); v++ {
+			j.remPreds[v] = len(g.Predecessors(v))
+		}
+		// Serialize jobs of the same task: a job becomes eligible only
+		// when its predecessor job has fully completed.
+		if lastFinished[ev.task] >= ev.seq-1 {
+			active[[2]int{ev.task, ev.seq}] = j
+			startJob(j)
+		} else {
+			pendingRelease[ev.task] = append(pendingRelease[ev.task], j)
+		}
+	}
+
+	processCompletion := func(ev event) {
+		key := [2]int{ev.task, ev.seq}
+		j := active[key]
+		g := ts.Tasks[ev.task].G
+		now := ev.t
+		j.done[ev.node] = true
+		j.left--
+		freeCores = append(freeCores, ev.core)
+		for _, w := range g.Successors(ev.node) {
+			j.remPreds[w]--
+			if j.remPreds[w] == 0 {
+				ready = append(ready, readyNode{ev.task, ev.seq, w, j.release})
+			}
+		}
+		if j.left == 0 {
+			j.finish = now
+			delete(active, key)
+			lastFinished[ev.task] = j.seq
+			resp := j.finish - j.release
+			missed := resp > ts.Tasks[ev.task].Deadline
+			if missed {
+				res.Misses++
+			}
+			if resp > res.MaxResponse[ev.task] {
+				res.MaxResponse[ev.task] = resp
+			}
+			res.Jobs = append(res.Jobs, JobStat{
+				Task: ev.task, Job: ev.seq, Release: j.release,
+				Finish: j.finish, Response: resp, Missed: missed,
+			})
+			// Activate the serialized successor job, if queued.
+			if pend := pendingRelease[ev.task]; len(pend) > 0 && pend[0].seq == j.seq+1 {
+				next := pend[0]
+				pendingRelease[ev.task] = pend[1:]
+				active[[2]int{ev.task, next.seq}] = next
+				startJob(next)
+			}
+		}
+	}
+
+	// Process every event at one time instant before making scheduling
+	// decisions, so simultaneous completions and releases are all visible
+	// to the (eager, priority-ordered) core assignment.
+	for q.Len() > 0 {
+		now := q[0].t
+		for q.Len() > 0 && q[0].t == now {
+			ev := heap.Pop(&q).(event)
+			if ev.kind == 0 {
+				processRelease(ev)
+			} else {
+				processCompletion(ev)
+			}
+		}
+		schedule(now)
+	}
+	return res, nil
+}
+
+// Utilization returns the fraction of core time spent executing.
+func (r *Result) Utilization(m int) float64 {
+	var busy int64
+	for _, b := range r.CoreBusy {
+		busy += b
+	}
+	return float64(busy) / float64(int64(m)*r.Horizon)
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// TaskStats aggregates the observed behaviour of one task over a run.
+type TaskStats struct {
+	Task         int
+	Jobs         int
+	Misses       int
+	MinResponse  int64
+	MaxResponse  int64
+	MeanResponse float64
+	P50          int64 // median response
+	P95          int64
+	P99          int64
+}
+
+// Stats computes per-task response-time statistics from the recorded
+// jobs. Tasks with no completed jobs report zeros.
+func (r *Result) Stats(nTasks int) []TaskStats {
+	perTask := make([][]int64, nTasks)
+	misses := make([]int, nTasks)
+	for _, j := range r.Jobs {
+		if j.Task >= nTasks {
+			continue
+		}
+		perTask[j.Task] = append(perTask[j.Task], j.Response)
+		if j.Missed {
+			misses[j.Task]++
+		}
+	}
+	out := make([]TaskStats, nTasks)
+	for i, resp := range perTask {
+		s := TaskStats{Task: i, Jobs: len(resp), Misses: misses[i]}
+		if len(resp) > 0 {
+			sort.Slice(resp, func(a, b int) bool { return resp[a] < resp[b] })
+			s.MinResponse = resp[0]
+			s.MaxResponse = resp[len(resp)-1]
+			var sum int64
+			for _, v := range resp {
+				sum += v
+			}
+			s.MeanResponse = float64(sum) / float64(len(resp))
+			s.P50 = percentile(resp, 0.50)
+			s.P95 = percentile(resp, 0.95)
+			s.P99 = percentile(resp, 0.99)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// percentile returns the nearest-rank percentile of a sorted slice.
+func percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// StatsTable renders the per-task statistics next to the deadlines.
+func (r *Result) StatsTable(ts *model.TaskSet) string {
+	stats := r.Stats(ts.N())
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %6s %6s %8s %8s %8s %8s %8s %8s\n",
+		"task", "jobs", "miss", "min", "mean", "p50", "p95", "p99", "max")
+	for i, s := range stats {
+		fmt.Fprintf(&b, "%-12s %6d %6d %8d %8.1f %8d %8d %8d %8d\n",
+			ts.Tasks[i].Name, s.Jobs, s.Misses, s.MinResponse, s.MeanResponse,
+			s.P50, s.P95, s.P99, s.MaxResponse)
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+// Package textplot renders simple ASCII line charts, used by the
+// experiment drivers to display the schedulability curves of Figure 2 of
+// Serrano et al. (DATE 2016) directly in a terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve. Y values are sampled at the shared X grid.
+type Series struct {
+	Name   string
+	Marker byte
+	Y      []float64
+}
+
+// Chart renders the series over the shared xs grid into a width×height
+// character canvas with axes and a legend. Y limits are fixed to
+// [yMin, yMax] (use 0 and 100 for percentage charts).
+func Chart(title string, xs []float64, series []Series, width, height int, yMin, yMax float64) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	if yMax <= yMin {
+		yMax = yMin + 1
+	}
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	xmin, xmax := xs[0], xs[len(xs)-1]
+	if xmax <= xmin {
+		xmax = xmin + 1
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int(math.Round((yMax - y) / (yMax - yMin) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+	for si, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = markers[si%len(markers)]
+		}
+		for i, y := range s.Y {
+			if i >= len(xs) || math.IsNaN(y) {
+				continue
+			}
+			canvas[row(y)][col(xs[i])] = m
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for r, line := range canvas {
+		yLabel := ""
+		switch r {
+		case 0:
+			yLabel = fmt.Sprintf("%6.1f", yMax)
+		case height - 1:
+			yLabel = fmt.Sprintf("%6.1f", yMin)
+		case (height - 1) / 2:
+			yLabel = fmt.Sprintf("%6.1f", (yMax+yMin)/2)
+		}
+		fmt.Fprintf(&b, "%7s |%s|\n", yLabel, line)
+	}
+	fmt.Fprintf(&b, "%7s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%7s  %-*.3g%*.3g\n", "", width/2, xmin, width-width/2, xmax)
+	for si, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = markers[si%len(markers)]
+		}
+		fmt.Fprintf(&b, "        %c %s\n", m, s.Name)
+	}
+	return b.String()
+}

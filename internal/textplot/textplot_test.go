@@ -1,0 +1,75 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	s := []Series{
+		{Name: "up", Y: []float64{0, 33, 66, 100}},
+		{Name: "down", Y: []float64{100, 66, 33, 0}},
+	}
+	out := Chart("demo", xs, s, 40, 10, 0, 100)
+	for _, want := range []string{"demo", "up", "down", "100.0", "0.0", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Every line of the canvas is framed.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for _, l := range lines[1:11] {
+		if !strings.HasSuffix(l, "|") {
+			t.Errorf("canvas row not framed: %q", l)
+		}
+	}
+}
+
+func TestChartCorners(t *testing.T) {
+	xs := []float64{0, 10}
+	out := Chart("", xs, []Series{{Name: "s", Y: []float64{0, 100}, Marker: '#'}}, 30, 8, 0, 100)
+	lines := strings.Split(out, "\n")
+	top, bottom := lines[0], lines[7]
+	if !strings.Contains(top, "#") {
+		t.Errorf("y=100 must land on the top row:\n%s", out)
+	}
+	if !strings.Contains(bottom, "#") {
+		t.Errorf("y=0 must land on the bottom row:\n%s", out)
+	}
+	if !strings.HasSuffix(strings.TrimRight(top, "|"), "#") {
+		t.Errorf("x=max must land on the right edge:\n%s", out)
+	}
+}
+
+func TestChartClampsAndNaN(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	out := Chart("t", xs, []Series{{Name: "s", Y: []float64{-50, math.NaN(), 150}}}, 25, 6, 0, 100)
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+	// Out-of-range values clamp to the frame instead of panicking.
+	if !strings.Contains(out, "*") {
+		t.Errorf("clamped points missing:\n%s", out)
+	}
+}
+
+func TestChartMinimumSizes(t *testing.T) {
+	xs := []float64{0, 0} // degenerate x range
+	out := Chart("tiny", xs, []Series{{Name: "s", Y: []float64{5, 5}}}, 1, 1, 5, 5)
+	if out == "" {
+		t.Fatal("degenerate chart must still render")
+	}
+}
+
+func TestCustomMarkers(t *testing.T) {
+	xs := []float64{0, 1}
+	out := Chart("", xs, []Series{
+		{Name: "a", Marker: 'A', Y: []float64{10, 20}},
+		{Name: "b", Marker: 'B', Y: []float64{80, 90}},
+	}, 30, 10, 0, 100)
+	if !strings.Contains(out, "A a") || !strings.Contains(out, "B b") {
+		t.Errorf("legend must show custom markers:\n%s", out)
+	}
+}

@@ -1,0 +1,246 @@
+// Package lpdag is a from-scratch Go implementation of the
+// response-time analysis of sporadic DAG tasks under global
+// fixed-priority scheduling with limited preemptions, reproducing
+//
+//	M. A. Serrano, A. Melani, M. Bertogna, E. Quiñones,
+//	"Response-Time Analysis of DAG Tasks under Fixed Priority
+//	Scheduling with Limited Preemptions", DATE 2016.
+//
+// The package is the stable public facade over the implementation
+// packages: the DAG task model, the three analysis variants (the
+// fully-preemptive FP-ideal baseline and the limited-preemptive LP-max
+// and LP-ILP blocking bounds), the random task-set generator used by the
+// paper's evaluation, a discrete-event scheduler simulator for
+// validation, and the preemption-point placement explorer.
+//
+// # Quick start
+//
+//	var b lpdag.GraphBuilder
+//	src := b.AddNode(2)          // nodes are non-preemptive regions (WCET)
+//	a, c := b.AddNode(4), b.AddNode(3)
+//	sink := b.AddNode(1)
+//	b.AddEdge(src, a)            // edges are precedence constraints
+//	b.AddEdge(src, c)
+//	b.AddEdge(a, sink)
+//	b.AddEdge(c, sink)
+//	task := &lpdag.Task{Name: "dag", G: b.MustBuild(), Deadline: 20, Period: 20}
+//
+//	ts, err := lpdag.NewTaskSet(task)
+//	...
+//	an, err := lpdag.NewAnalyzer(lpdag.Options{Cores: 4, Method: lpdag.LPILP})
+//	...
+//	report, err := an.Analyze(ts)
+//	fmt.Print(report)
+//
+// See examples/ for complete programs and DESIGN.md for the mapping from
+// the paper's equations to the implementation.
+package lpdag
+
+import (
+	"io"
+
+	"repro/internal/blocking"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/fixture"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/ppp"
+	"repro/internal/rta"
+	"repro/internal/seqlp"
+	"repro/internal/sim"
+)
+
+// Task model types (see internal/model and internal/dag).
+type (
+	// Task is one sporadic DAG task τ = (G, D, T) with constrained
+	// deadline D ≤ T.
+	Task = model.Task
+	// TaskSet is a priority-ordered set of tasks (index 0 = highest).
+	TaskSet = model.TaskSet
+	// Graph is an immutable DAG of non-preemptive regions.
+	Graph = dag.Graph
+	// GraphBuilder accumulates nodes and edges; its zero value is ready
+	// to use.
+	GraphBuilder = dag.Builder
+)
+
+// Analysis types (see internal/core).
+type (
+	// Analyzer runs the response-time analysis with fixed options.
+	Analyzer = core.Analyzer
+	// Options configure an Analyzer.
+	Options = core.Options
+	// Report is the analysis outcome for a task set.
+	Report = core.Report
+	// TaskReport is the per-task analysis outcome.
+	TaskReport = core.TaskReport
+	// Method selects the analysis variant.
+	Method = core.Method
+	// Backend selects the LP-ILP solver implementation.
+	Backend = core.Backend
+)
+
+// Analysis variants.
+const (
+	// FPIdeal is the fully-preemptive baseline (Equation (1) of the
+	// paper): no blocking, zero preemption cost.
+	FPIdeal = core.FPIdeal
+	// LPMax bounds lower-priority blocking by the m largest NPRs
+	// regardless of precedence (Equation (5)): cheap, pessimistic.
+	LPMax = core.LPMax
+	// LPILP bounds blocking by the largest NPR sets that can actually
+	// run in parallel (Equations (6)-(8)): tighter, costlier.
+	LPILP = core.LPILP
+)
+
+// LP-ILP solver backends.
+const (
+	// Combinatorial solves µ and ρ with exact max-weight-clique and
+	// assignment algorithms (default, fast).
+	Combinatorial = core.Combinatorial
+	// PaperILP solves the paper's literal 0-1 ILP encodings with a
+	// built-in branch-and-bound solver.
+	PaperILP = core.PaperILP
+)
+
+// Methods lists the analysis variants in presentation order.
+func Methods() []Method { return core.Methods() }
+
+// NewAnalyzer validates the options and returns an Analyzer.
+func NewAnalyzer(opts Options) (*Analyzer, error) { return core.New(opts) }
+
+// NewTaskSet validates the tasks and returns a set in the given priority
+// order (highest first).
+func NewTaskSet(tasks ...*Task) (*TaskSet, error) { return model.NewTaskSet(tasks...) }
+
+// ReadTaskSet reads a task set from JSON (the format written by
+// (*TaskSet).WriteJSON and cmd/lpdag-gen).
+func ReadTaskSet(r io.Reader) (*TaskSet, error) { return model.ReadJSON(r) }
+
+// Generator types (see internal/gen): the random task-set populations of
+// the paper's evaluation (Section VI-A).
+type (
+	// Generator produces random DAG tasks and task sets.
+	Generator = gen.Generator
+	// GenParams configure a Generator.
+	GenParams = gen.Params
+	// DAGParams control the fork-join expansion of one task graph.
+	DAGParams = gen.DAGParams
+	// Group selects the task population.
+	Group = gen.Group
+)
+
+// Task populations of the evaluation.
+const (
+	// GroupMixed mixes highly parallel and sequential tasks (embedded
+	// domain, the paper's first group).
+	GroupMixed = gen.GroupMixed
+	// GroupParallel uses uniformly highly parallel tasks (HPC domain,
+	// the paper's second group).
+	GroupParallel = gen.GroupParallel
+)
+
+// PaperGenParams returns the Section VI-A generator configuration.
+func PaperGenParams(group Group) GenParams { return gen.PaperParams(group) }
+
+// NewGenerator returns a deterministic Generator.
+func NewGenerator(seed int64, params GenParams) *Generator { return gen.New(seed, params) }
+
+// Simulator types (see internal/sim): a discrete-event global-FP
+// limited-preemptive scheduler used to validate the analysis.
+type (
+	// SimConfig parameterises one simulation run.
+	SimConfig = sim.Config
+	// SimResult aggregates a run.
+	SimResult = sim.Result
+	// JobStat describes one completed job.
+	JobStat = sim.JobStat
+	// Span is one contiguous node execution on a core.
+	Span = sim.Span
+)
+
+// Simulate runs the limited-preemptive scheduler simulator.
+func Simulate(ts *TaskSet, cfg SimConfig) (*SimResult, error) { return sim.Run(ts, cfg) }
+
+// Placement types (see internal/ppp): preemption-point placement
+// exploration.
+type (
+	// PlacementPoint is the outcome of one NPR-length budget.
+	PlacementPoint = ppp.Point
+)
+
+// SplitNodes caps every NPR at maxNPR by splitting long nodes into
+// chains (finer preemption points, less blocking on others).
+func SplitNodes(g *Graph, maxNPR int64) *Graph { return ppp.SplitNodes(g, maxNPR) }
+
+// CoarsenChains merges linear runs of nodes up to maxNPR (fewer
+// preemption points, more blocking on others).
+func CoarsenChains(g *Graph, maxNPR int64) *Graph { return ppp.CoarsenChains(g, maxNPR) }
+
+// ExplorePlacement sweeps NPR-length budgets over the task set under a
+// limited-preemptive analysis method.
+func ExplorePlacement(ts *TaskSet, cores int, budgets []int64, method Method, be Backend) ([]PlacementPoint, error) {
+	return ppp.Explore(ts, cores, budgets, method, be)
+}
+
+// Blocking terms (see internal/blocking), exposed for tooling that wants
+// the Δ values without a full analysis.
+type (
+	// Interference bundles Δ^m and Δ^{m-1}.
+	Interference = blocking.Interference
+)
+
+// BlockingLPMax computes Δ^m and Δ^{m-1} of a lower-priority set under
+// Equation (5).
+func BlockingLPMax(graphs []*Graph, cores int) Interference {
+	return blocking.Compute(graphs, cores, blocking.LPMax, blocking.Combinatorial)
+}
+
+// BlockingLPILP computes Δ^m and Δ^{m-1} under Equations (6)-(8).
+func BlockingLPILP(graphs []*Graph, cores int, be Backend) Interference {
+	return blocking.Compute(graphs, cores, blocking.LPILP, be)
+}
+
+// PaperExample returns the running example of the paper (Figure 1) as a
+// five-task set: a synthetic highest-priority task over the four tasks
+// τ1-τ4 whose blocking tables the paper works out in Tables I-III.
+func PaperExample() *TaskSet { return fixture.TaskSet() }
+
+// PaperExampleGraphs returns just the four Figure 1 DAGs (τ1..τ4).
+func PaperExampleGraphs() []*Graph { return fixture.LowerPriorityGraphs() }
+
+// Analyze is a one-shot convenience: analyze ts on the given core count
+// with the given method and the default solver backend.
+func Analyze(ts *TaskSet, cores int, method Method) (*Report, error) {
+	a, err := NewAnalyzer(Options{Cores: cores, Method: method})
+	if err != nil {
+		return nil, err
+	}
+	return a.Analyze(ts)
+}
+
+// AnalyzeRefined is Analyze with the final-NPR refinement enabled (the
+// paper's future-work item (ii)): for single-sink tasks, interference is
+// accounted only until the start of the non-preemptable final region.
+// The refined bound never exceeds the plain one.
+func AnalyzeRefined(ts *TaskSet, cores int, method Method) (*rta.Result, error) {
+	return rta.Analyze(ts, rta.Config{
+		M: cores, Method: method, FinalNPRRefinement: true,
+	})
+}
+
+// Sequential-task substrate (see internal/seqlp): the RTNS 2015 analysis
+// of Thekkilakattil et al. the paper generalises to DAGs.
+type (
+	// SeqTask is a sequential task: an ordered chain of NPRs.
+	SeqTask = seqlp.Task
+	// SeqResult is the sequential analysis outcome.
+	SeqResult = seqlp.Result
+)
+
+// AnalyzeSequential runs the sequential limited-preemptive analysis
+// (priority order: index 0 highest).
+func AnalyzeSequential(tasks []*SeqTask, cores int) (*SeqResult, error) {
+	return seqlp.Analyze(tasks, cores)
+}
