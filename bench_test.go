@@ -6,6 +6,7 @@
 package lpdag
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/blocking"
@@ -267,3 +268,39 @@ func BenchmarkCriticalScaling(b *testing.B) {
 		}
 	}
 }
+
+// benchEngineSweep re-analyzes a fixed pool of task sets through the
+// engine, modeling a Figure-2-style serving workload in which the same
+// task graphs recur request after request. The cached variant computes
+// each graph's µ table and each suffix's Δ terms once and then serves
+// the sweep from the content-addressed cache; the uncached variant
+// recomputes everything per request.
+func benchEngineSweep(b *testing.B, cacheEntries int) {
+	b.Helper()
+	g := NewGenerator(99, PaperGenParams(GroupMixed))
+	sets := make([]*TaskSet, 16)
+	for i := range sets {
+		sets[i] = g.TaskSet(2.0)
+	}
+	e := NewEngine(EngineConfig{Workers: 4, CacheEntries: cacheEntries})
+	defer e.Close()
+	ctx := context.Background()
+	spec := AnalyzeSpec{Cores: 8, Method: LPILP}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ts := range sets {
+			if _, err := e.Analyze(ctx, ts, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineCachedSweep is the engine with its content-addressed
+// cache enabled. Compare against BenchmarkEngineUncachedSweep for the
+// cache speedup on repeated analyses.
+func BenchmarkEngineCachedSweep(b *testing.B) { benchEngineSweep(b, 0) }
+
+// BenchmarkEngineUncachedSweep is the same workload with caching
+// disabled — the baseline for the cache speedup.
+func BenchmarkEngineUncachedSweep(b *testing.B) { benchEngineSweep(b, -1) }

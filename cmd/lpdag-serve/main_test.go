@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	lpdag "repro"
+)
+
+// syncBuffer is a bytes.Buffer safe for the concurrent writes the
+// serving goroutine makes while the test polls it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var addrRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startServer runs the command on an ephemeral port and returns its
+// base URL plus a shutdown function that waits for a clean exit.
+func startServer(t *testing.T, args ...string) (string, func() int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &stdout, &stderr)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	var addr string
+	for time.Now().Before(deadline) {
+		if m := addrRE.FindStringSubmatch(stderr.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("server exited early with %d: %s", code, stderr.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if addr == "" {
+		cancel()
+		t.Fatalf("server never reported its address: %s", stderr.String())
+	}
+	return "http://" + addr, func() int {
+		cancel()
+		select {
+		case code := <-done:
+			return code
+		case <-time.After(5 * time.Second):
+			t.Fatal("server did not shut down")
+			return -1
+		}
+	}
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	base, shutdown := startServer(t, "-workers", "2")
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	raw, err := lpdag.PaperExample().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"cores": 4, "requests": [{"taskset": %s}]}`, raw)
+	resp, err = http.Post(base+"/v1/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %d: %s", resp.StatusCode, data)
+	}
+	var parsed struct {
+		Results []struct {
+			Error       string `json:"error"`
+			Schedulable bool   `json:"schedulable"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("decode: %v: %s", err, data)
+	}
+	want, err := lpdag.Analyze(lpdag.PaperExample(), 4, lpdag.LPILP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Results) != 1 || parsed.Results[0].Error != "" ||
+		parsed.Results[0].Schedulable != want.Schedulable {
+		t.Fatalf("analyze result drifted: %s", data)
+	}
+
+	if code := shutdown(); code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run(context.Background(), []string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:http"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad addr: exit %d, want 2", code)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/blocking"
+	"repro/internal/engine/cache"
 	"repro/internal/model"
 	"repro/internal/rta"
 )
@@ -48,6 +49,13 @@ type Options struct {
 	Cores   int     // number of identical cores m, ≥ 1
 	Method  Method  // analysis variant; default FPIdeal
 	Backend Backend // LP-ILP solver; default Combinatorial
+
+	// Cache, when non-nil, memoizes content-addressed derived
+	// quantities (µ tables, top-NPR lists, Δ terms) across analyses.
+	// Share one cache between analyzers to make repeated analyses of
+	// overlapping task sets cheap; verdicts are identical with or
+	// without it.
+	Cache *cache.Cache
 }
 
 // Analyzer runs the response-time analysis with fixed options.
@@ -119,6 +127,7 @@ func (a *Analyzer) Analyze(ts *model.TaskSet) (*Report, error) {
 		M:       a.opts.Cores,
 		Method:  a.opts.Method,
 		Backend: a.opts.Backend,
+		Cache:   a.opts.Cache,
 	})
 	if err != nil {
 		return nil, err
@@ -190,7 +199,7 @@ func (r *Report) String() string {
 func (a *Analyzer) CompareMethods(ts *model.TaskSet) (map[Method]*Report, error) {
 	out := make(map[Method]*Report, 3)
 	for _, m := range Methods() {
-		sub, err := New(Options{Cores: a.opts.Cores, Method: m, Backend: a.opts.Backend})
+		sub, err := New(Options{Cores: a.opts.Cores, Method: m, Backend: a.opts.Backend, Cache: a.opts.Cache})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,241 @@
+// Package cache is a content-addressed memo store for the expensive
+// derived quantities of the limited-preemption analysis: the per-graph
+// µ[c] worst-case workload tables of Equation (6) (max-weight clique
+// searches), the sorted top-NPR lists of Equation (5), and the
+// aggregated Δ^m/Δ^{m-1} interference terms of Equations (5) and (8)
+// for a whole lower-priority set. (Cheap O(graph) quantities like
+// vol(G) and L are deliberately not memoized — a lookup would cost as
+// much as recomputing them.)
+//
+// Entries are keyed by the canonical content of the graph structure
+// (node WCETs + edge list, not a lossy hash — distinct graphs can
+// never collide) combined with the analysis parameters (cores, method,
+// backend), so two structurally identical graphs share one entry
+// regardless of how or where they were built — a task set deserialized
+// twice from JSON, or the same lower-priority suffix re-analyzed at
+// every utilization point of a sweep, computes each quantity once.
+//
+// The store is safe for concurrent use and bounds its footprint with an
+// LRU eviction policy. Concurrent requests for a missing key are
+// deduplicated singleflight-style: the first goroutine computes, the
+// rest block on the in-flight entry and share the result. Hit, miss and
+// eviction counters feed the engine's /stats endpoint.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/blocking"
+	"repro/internal/dag"
+)
+
+// DefaultMaxEntries bounds the LRU when New is given a non-positive
+// size. An entry is a small slice or pair of int64s, so the default is
+// generous without being a memory hazard.
+const DefaultMaxEntries = 4096
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one cached value. ready is closed once val is populated;
+// goroutines that find an in-flight entry wait on it (singleflight).
+type entry struct {
+	key   string
+	val   any
+	ready chan struct{}
+	elem  *list.Element // position in the LRU list; nil while in flight
+}
+
+// Cache is a bounded, concurrency-safe, content-addressed memo store.
+// The zero value is not usable; construct with New.
+type Cache struct {
+	mu         sync.Mutex
+	entries    map[string]*entry
+	lru        *list.List // front = most recently used
+	maxEntries int
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// New returns a Cache bounded to maxEntries values (DefaultMaxEntries
+// when non-positive).
+func New(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	return &Cache{
+		entries:    make(map[string]*entry),
+		lru:        list.New(),
+		maxEntries: maxEntries,
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+	}
+}
+
+// do returns the cached value for key, computing it with fn on a miss.
+// Concurrent callers with the same key compute once: the first inserts
+// an in-flight entry and runs fn outside the lock, the rest wait for it.
+// In-flight entries don't count against maxEntries; they join the LRU
+// only once materialized.
+func (c *Cache) do(key string, fn func() any) any {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		<-e.ready
+		return e.val
+	}
+	c.misses++
+	e := &entry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			// Don't strand waiters or poison the key on a panicking
+			// compute (invalid inputs reach fn only through internal
+			// misuse, but a stuck channel would deadlock the server).
+			c.mu.Lock()
+			delete(c.entries, key)
+			c.mu.Unlock()
+			close(e.ready)
+			panic(r)
+		}
+	}()
+	e.val = fn()
+	close(e.ready)
+
+	c.mu.Lock()
+	e.elem = c.lru.PushFront(e)
+	for c.lru.Len() > c.maxEntries {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+	c.mu.Unlock()
+	return e.val
+}
+
+// canonical returns the canonical content string of a graph: node
+// count, node WCETs, and the deterministic edge list. It is the cache
+// key, so structurally identical graphs share entries and — unlike a
+// fixed-width hash — structurally distinct graphs can never collide
+// into each other's results. Node display names are ignored (they
+// never affect analysis). DAG tasks in this domain have at most a few
+// dozen nodes, so keys stay small and the LRU bound caps total memory.
+func canonical(g *dag.Graph) string {
+	buf := make([]byte, 0, 8*g.N())
+	buf = strconv.AppendInt(buf, int64(g.N()), 10)
+	buf = append(buf, ';')
+	for v := 0; v < g.N(); v++ {
+		buf = strconv.AppendInt(buf, g.WCET(v), 10)
+		buf = append(buf, ',')
+	}
+	buf = append(buf, ';')
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Successors(u) {
+			buf = strconv.AppendInt(buf, int64(u), 10)
+			buf = append(buf, '>')
+			buf = strconv.AppendInt(buf, int64(v), 10)
+			buf = append(buf, ',')
+		}
+	}
+	return string(buf)
+}
+
+// canonicalList keys a whole graph list (order-sensitive: priority
+// order matters for the analysis, so it must matter for the key).
+func canonicalList(graphs []*dag.Graph) string {
+	buf := make([]byte, 0, 64*len(graphs))
+	for _, g := range graphs {
+		buf = append(buf, canonical(g)...)
+		buf = append(buf, '|')
+	}
+	return string(buf)
+}
+
+// MuTable returns the µ[c] table of g for m cores (Equation (6)),
+// computing it with blocking.Mu on a miss. The returned slice is shared
+// with the cache; callers must not modify it.
+func (c *Cache) MuTable(g *dag.Graph, m int, be blocking.Backend) []int64 {
+	key := fmt.Sprintf("mu|%s|m=%d|be=%d", canonical(g), m, be)
+	return c.do(key, func() any {
+		return blocking.Mu(g, m, be)
+	}).([]int64)
+}
+
+// TopNPRs returns the min(m, |V|) largest node WCETs of g in
+// non-increasing order (the Equation (5) ingredient). The returned
+// slice is shared with the cache; callers must not modify it.
+func (c *Cache) TopNPRs(g *dag.Graph, m int) []int64 {
+	key := fmt.Sprintf("top|%s|m=%d", canonical(g), m)
+	return c.do(key, func() any {
+		return blocking.TopNPRs(g, m)
+	}).([]int64)
+}
+
+// InterferenceLPMax returns the Δ^m/Δ^{m-1} pair of a lower-priority
+// graph list under LP-max (Equation (5)), keyed by the list content.
+// The per-graph top-NPR lists are themselves cached, so a suffix that
+// shares graphs with an already-analyzed set only pools cached lists.
+func (c *Cache) InterferenceLPMax(graphs []*dag.Graph, m int) blocking.Interference {
+	key := fmt.Sprintf("dmax|%s|m=%d", canonicalList(graphs), m)
+	return c.do(key, func() any {
+		tops := make([][]int64, len(graphs))
+		for i, g := range graphs {
+			tops[i] = c.TopNPRs(g, m)
+		}
+		return blocking.Interference{
+			DeltaM:  blocking.DeltaMaxFromTops(tops, m),
+			DeltaM1: blocking.DeltaMaxFromTops(tops, m-1),
+		}
+	}).(blocking.Interference)
+}
+
+// InterferenceLPILP returns the Δ^m/Δ^{m-1} pair under LP-ILP
+// (Equations (6)-(8)), keyed by the list content. The expensive
+// per-graph µ tables are fetched through the cache, so only
+// never-seen graphs pay the clique search.
+func (c *Cache) InterferenceLPILP(graphs []*dag.Graph, m int, be blocking.Backend) blocking.Interference {
+	key := fmt.Sprintf("dilp|%s|m=%d|be=%d", canonicalList(graphs), m, be)
+	return c.do(key, func() any {
+		mus := make([][]int64, len(graphs))
+		for i, g := range graphs {
+			mus[i] = c.MuTable(g, m, be)
+		}
+		return blocking.ComputeFromMus(mus, m, be)
+	}).(blocking.Interference)
+}

@@ -1,0 +1,211 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/dag"
+	"repro/internal/fixture"
+)
+
+// buildGraph returns a small fork-join DAG whose shape depends on n, so
+// tests can mint arbitrarily many distinct graphs.
+func buildGraph(n int64) *dag.Graph {
+	var b dag.Builder
+	src := b.AddNode(n + 1)
+	a := b.AddNode(n + 2)
+	c := b.AddNode(2*n + 1)
+	sink := b.AddNode(1)
+	b.AddEdge(src, a)
+	b.AddEdge(src, c)
+	b.AddEdge(a, sink)
+	b.AddEdge(c, sink)
+	return b.MustBuild()
+}
+
+func TestCanonicalContentAddressing(t *testing.T) {
+	g1 := buildGraph(3)
+	g2 := buildGraph(3) // structurally identical, distinct allocation
+	g3 := buildGraph(4)
+	if canonical(g1) != canonical(g2) {
+		t.Error("identical graphs should share a key")
+	}
+	if canonical(g1) == canonical(g3) {
+		t.Error("different WCETs should change the key")
+	}
+	// Same nodes, different edges.
+	var b dag.Builder
+	for v := 0; v < g1.N(); v++ {
+		b.AddNode(g1.WCET(v))
+	}
+	b.AddEdge(0, 3)
+	chain := b.MustBuild()
+	if canonical(g1) == canonical(chain) {
+		t.Error("different edges should change the key")
+	}
+	// List keys must not be confusable across graph boundaries.
+	if canonicalList([]*dag.Graph{g1, g3}) == canonicalList([]*dag.Graph{g3, g1}) {
+		t.Error("list key must be order-sensitive")
+	}
+}
+
+func TestMuTableMatchesBlockingAndHits(t *testing.T) {
+	c := New(64)
+	for _, g := range fixture.LowerPriorityGraphs() {
+		want := blocking.Mu(g, fixture.M, blocking.Combinatorial)
+		got := c.MuTable(g, fixture.M, blocking.Combinatorial)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("µ mismatch: got %v want %v", got, want)
+		}
+	}
+	before := c.Stats()
+	if before.Hits != 0 || before.Misses != 4 {
+		t.Fatalf("expected 0 hits / 4 misses after first pass, got %+v", before)
+	}
+	// Structurally identical clones must hit, not miss.
+	for _, g := range fixture.LowerPriorityGraphs() {
+		c.MuTable(g.Clone(), fixture.M, blocking.Combinatorial)
+	}
+	after := c.Stats()
+	if after.Hits != 4 || after.Misses != 4 {
+		t.Fatalf("expected 4 hits / 4 misses after clone pass, got %+v", after)
+	}
+	if after.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", after.HitRate())
+	}
+}
+
+func TestInterferenceMatchesBlockingCompute(t *testing.T) {
+	c := New(64)
+	graphs := fixture.LowerPriorityGraphs()
+	for _, be := range []blocking.Backend{blocking.Combinatorial} {
+		want := blocking.Compute(graphs, fixture.M, blocking.LPILP, be)
+		got := c.InterferenceLPILP(graphs, fixture.M, be)
+		if got != want {
+			t.Errorf("LP-ILP interference: got %+v want %+v", got, want)
+		}
+	}
+	want := blocking.Compute(graphs, fixture.M, blocking.LPMax, blocking.Combinatorial)
+	got := c.InterferenceLPMax(graphs, fixture.M)
+	if got != want {
+		t.Errorf("LP-max interference: got %+v want %+v", got, want)
+	}
+	// Repeat lookups must be hits and identical.
+	if again := c.InterferenceLPMax(graphs, fixture.M); again != want {
+		t.Errorf("second LP-max lookup drifted: %+v vs %+v", again, want)
+	}
+}
+
+func TestTopNPRs(t *testing.T) {
+	c := New(8)
+	g := buildGraph(5)
+	want := blocking.TopNPRs(g, 4)
+	got := c.TopNPRs(g, 4)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("top NPRs %v disagree with blocking (%v)", got, want)
+	}
+	if again := c.TopNPRs(g.Clone(), 4); fmt.Sprint(again) != fmt.Sprint(want) {
+		t.Fatalf("clone lookup returned %v, want %v", again, want)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(4)
+	for i := int64(0); i < 10; i++ {
+		c.TopNPRs(buildGraph(i), 4)
+	}
+	s := c.Stats()
+	if s.Entries != 4 {
+		t.Errorf("entries = %d, want 4 (bounded)", s.Entries)
+	}
+	if s.Evictions != 6 {
+		t.Errorf("evictions = %d, want 6", s.Evictions)
+	}
+	// The most recent entries survive; the oldest were evicted.
+	c.TopNPRs(buildGraph(9), 4)
+	if got := c.Stats(); got.Hits != s.Hits+1 {
+		t.Errorf("most-recent entry should still be cached: %+v", got)
+	}
+	c.TopNPRs(buildGraph(0), 4)
+	if got := c.Stats(); got.Misses != s.Misses+1 {
+		t.Errorf("oldest entry should have been evicted: %+v", got)
+	}
+}
+
+// TestSingleflight verifies concurrent requests for one missing key
+// compute once: the compute function blocks until every goroutine has
+// requested the key, so all but the first must wait on the in-flight
+// entry rather than compute their own.
+func TestSingleflight(t *testing.T) {
+	c := New(16)
+	const n = 8
+	var computes int
+	arrived := make(chan struct{}, n)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arrived <- struct{}{}
+			results[i] = c.do("k", func() any {
+				computes++ // safe: only one goroutine may run this
+				<-release
+				return 42
+			})
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-arrived
+	}
+	close(release)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+	for i, r := range results {
+		if r != 42 {
+			t.Fatalf("goroutine %d got %v, want 42", i, r)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != n-1 {
+		t.Fatalf("stats = %+v, want 1 miss / %d hits", s, n-1)
+	}
+}
+
+// TestConcurrentHammer drives the full typed API from many goroutines
+// over a small key space with an eviction-prone bound; run with -race
+// this is the cache's data-race certification.
+func TestConcurrentHammer(t *testing.T) {
+	c := New(8)
+	graphs := fixture.LowerPriorityGraphs()
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				g := graphs[(w+i)%len(graphs)]
+				c.MuTable(g, fixture.M, blocking.Combinatorial)
+				c.TopNPRs(g, fixture.M)
+				if i%5 == 0 {
+					c.InterferenceLPILP(graphs, fixture.M, blocking.Combinatorial)
+					c.InterferenceLPMax(graphs, fixture.M)
+				}
+				c.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := blocking.Compute(graphs, fixture.M, blocking.LPILP, blocking.Combinatorial)
+	if got := c.InterferenceLPILP(graphs, fixture.M, blocking.Combinatorial); got != want {
+		t.Fatalf("post-hammer interference %+v, want %+v", got, want)
+	}
+}

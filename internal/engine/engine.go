@@ -1,0 +1,345 @@
+// Package engine is a long-running concurrent analysis service over the
+// lpdag library: a bounded worker pool that executes analyze, simulate
+// and generate jobs, backed by a shared content-addressed cache
+// (internal/engine/cache) so that concurrent and repeated requests for
+// structurally identical task graphs compute the expensive blocking
+// quantities once.
+//
+// The engine is the process-wide singleton behind cmd/lpdag-serve (see
+// server.go for the HTTP front end) but is equally usable embedded: the
+// public methods are synchronous — they enqueue a job, wait for a
+// worker, and return the result — so callers get backpressure for free
+// and can fan out with their own goroutines.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine/cache"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Config parameterises an Engine.
+type Config struct {
+	// Workers is the number of concurrent job executors; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth is the pending-job buffer beyond the running workers;
+	// 0 means 4× workers. When the queue is full, Submit blocks (or
+	// fails when the caller's context expires), which is the engine's
+	// admission control.
+	QueueDepth int
+	// CacheEntries bounds the shared result cache (0 =
+	// cache.DefaultMaxEntries). Negative disables caching.
+	CacheEntries int
+}
+
+// JobKind labels the work a job carries, for the stats counters.
+type JobKind int
+
+// Job kinds.
+const (
+	JobAnalyze JobKind = iota
+	JobSimulate
+	JobGenerate
+	numJobKinds
+)
+
+func (k JobKind) String() string {
+	switch k {
+	case JobAnalyze:
+		return "analyze"
+	case JobSimulate:
+		return "simulate"
+	case JobGenerate:
+		return "generate"
+	}
+	return fmt.Sprintf("JobKind(%d)", int(k))
+}
+
+// job is one queued unit of work. ctx is the submitter's context: a
+// worker popping a job whose submitter has already given up skips the
+// computation instead of burning a worker on a result nobody reads.
+type job struct {
+	kind JobKind
+	ctx  context.Context
+	run  func() (any, error)
+	done chan jobResult
+}
+
+type jobResult struct {
+	val any
+	err error
+}
+
+// ErrClosed is returned by job submissions after Close.
+var ErrClosed = fmt.Errorf("engine: closed")
+
+// Engine is the concurrent analysis service. Construct with New; Close
+// drains the queue and stops the workers.
+type Engine struct {
+	cfg  Config
+	memo *cache.Cache // nil when caching is disabled
+	jobs chan *job
+	wg   sync.WaitGroup
+
+	// mu guards closed and, held shared, every send on jobs, so Close
+	// cannot close the channel under an in-flight send.
+	mu     sync.RWMutex
+	closed bool
+
+	queued int64 // jobs submitted but not yet finished (atomic)
+	served [numJobKinds]uint64
+	failed uint64
+}
+
+// New starts an Engine with the given configuration.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	e := &Engine{
+		cfg:  cfg,
+		jobs: make(chan *job, cfg.QueueDepth),
+	}
+	if cfg.CacheEntries >= 0 {
+		e.memo = cache.New(cfg.CacheEntries)
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Close stops accepting jobs, lets queued ones finish (except jobs
+// whose submitter context is already cancelled, which are skipped),
+// and waits for the workers to exit. Safe to call more than once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.jobs)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Cache returns the engine's shared result cache (nil when disabled).
+func (e *Engine) Cache() *cache.Cache { return e.memo }
+
+// Workers returns the configured worker count — the natural bound for
+// callers fanning batches out over the pool.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Stats is a point-in-time snapshot of the engine counters.
+type Stats struct {
+	Workers     int         `json:"workers"`
+	QueueDepth  int         `json:"queue_depth"` // jobs in flight or waiting
+	QueueCap    int         `json:"queue_cap"`
+	Analyses    uint64      `json:"analyses"`
+	Simulations uint64      `json:"simulations"`
+	Generations uint64      `json:"generations"`
+	Failed      uint64      `json:"failed"`
+	Cache       cache.Stats `json:"cache"`
+}
+
+// JobsServed returns the total completed jobs of all kinds.
+func (s Stats) JobsServed() uint64 { return s.Analyses + s.Simulations + s.Generations }
+
+// Stats snapshots the counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Workers:     e.cfg.Workers,
+		QueueDepth:  int(atomic.LoadInt64(&e.queued)),
+		QueueCap:    e.cfg.QueueDepth,
+		Analyses:    atomic.LoadUint64(&e.served[JobAnalyze]),
+		Simulations: atomic.LoadUint64(&e.served[JobSimulate]),
+		Generations: atomic.LoadUint64(&e.served[JobGenerate]),
+		Failed:      atomic.LoadUint64(&e.failed),
+	}
+	if e.memo != nil {
+		s.Cache = e.memo.Stats()
+	}
+	return s
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.jobs {
+		if err := j.ctx.Err(); err != nil {
+			// Submitter abandoned the job while it was queued (request
+			// cancelled, server shutting down): don't compute.
+			atomic.AddInt64(&e.queued, -1)
+			j.done <- jobResult{err: err}
+			continue
+		}
+		val, err := j.run()
+		atomic.AddUint64(&e.served[j.kind], 1)
+		if err != nil {
+			atomic.AddUint64(&e.failed, 1)
+		}
+		atomic.AddInt64(&e.queued, -1)
+		j.done <- jobResult{val: val, err: err}
+	}
+}
+
+// submit enqueues fn and waits for its result. It returns ErrClosed
+// after Close, and the context's error if ctx expires while the job is
+// still queued (a job a worker already started always runs to
+// completion; its result is then discarded).
+func (e *Engine) submit(ctx context.Context, kind JobKind, fn func() (any, error)) (any, error) {
+	j := &job{kind: kind, ctx: ctx, run: fn, done: make(chan jobResult, 1)}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	atomic.AddInt64(&e.queued, 1)
+	select {
+	case e.jobs <- j:
+		e.mu.RUnlock()
+	case <-ctx.Done():
+		e.mu.RUnlock()
+		atomic.AddInt64(&e.queued, -1)
+		return nil, ctx.Err()
+	}
+	select {
+	case res := <-j.done:
+		return res.val, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// AnalyzeSpec selects the analysis parameters of one request.
+type AnalyzeSpec struct {
+	Cores   int
+	Method  core.Method
+	Backend core.Backend
+}
+
+// Analyze runs the response-time analysis of ts as a pooled job. All
+// engine analyses share the content-addressed cache, so concurrent
+// requests for overlapping task sets dedupe the blocking computations.
+func (e *Engine) Analyze(ctx context.Context, ts *model.TaskSet, spec AnalyzeSpec) (*core.Report, error) {
+	v, err := e.submit(ctx, JobAnalyze, func() (any, error) {
+		a, err := core.New(core.Options{
+			Cores: spec.Cores, Method: spec.Method, Backend: spec.Backend,
+			Cache: e.memo,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return a.Analyze(ts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Report), nil
+}
+
+// AnalyzeBatch analyzes every (task set, spec) pair, fanning the jobs
+// out over the worker pool and preserving order. Per-item failures are
+// reported in errs; the call itself only fails when ctx expires.
+//
+// The fan-out is bounded at the engine's worker count — only that many
+// jobs can execute at once, so goroutine-per-item would buy nothing but
+// stacks (batches can be MaxBatch-sized and arrive MaxInFlight at a
+// time from the HTTP front end).
+func (e *Engine) AnalyzeBatch(ctx context.Context, sets []*model.TaskSet, specs []AnalyzeSpec) (reports []*core.Report, errs []error, err error) {
+	if len(sets) != len(specs) {
+		return nil, nil, fmt.Errorf("engine: %d task sets but %d specs", len(sets), len(specs))
+	}
+	reports = make([]*core.Report, len(sets))
+	errs = make([]error, len(sets))
+	forEachBounded(len(sets), e.cfg.Workers, func(i int) {
+		reports[i], errs[i] = e.Analyze(ctx, sets[i], specs[i])
+	})
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return nil, nil, ctxErr
+	}
+	return reports, errs, nil
+}
+
+// forEachBounded runs fn(0..n-1) on at most bound concurrent
+// goroutines, returning when all calls finished. fn must handle its own
+// cancellation (the engine's job layer does).
+func forEachBounded(n, bound int, fn func(i int)) {
+	if bound > n {
+		bound = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < bound; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// SimulateSpec parameterises a simulation job.
+type SimulateSpec struct {
+	Cores    int
+	Duration int64
+	MaxJobs  int
+}
+
+// Simulate runs the discrete-event scheduler simulator as a pooled job.
+func (e *Engine) Simulate(ctx context.Context, ts *model.TaskSet, spec SimulateSpec) (*sim.Result, error) {
+	v, err := e.submit(ctx, JobSimulate, func() (any, error) {
+		return sim.Run(ts, sim.Config{M: spec.Cores, Duration: spec.Duration, MaxJobs: spec.MaxJobs})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*sim.Result), nil
+}
+
+// GenerateSpec parameterises a task-set generation job.
+type GenerateSpec struct {
+	Seed        int64
+	Group       gen.Group
+	Utilization float64
+	Tasks       int // exact task count; 0 = add tasks until Utilization
+	SeqProb     float64
+}
+
+// Generate produces a random task set as a pooled job, deterministic in
+// the spec's seed.
+func (e *Engine) Generate(ctx context.Context, spec GenerateSpec) (*model.TaskSet, error) {
+	v, err := e.submit(ctx, JobGenerate, func() (any, error) {
+		params := gen.PaperParams(spec.Group)
+		if spec.SeqProb > 0 {
+			params.SeqProb = spec.SeqProb
+		}
+		g := gen.New(spec.Seed, params)
+		if spec.Tasks > 0 {
+			return g.TaskSetN(spec.Tasks, spec.Utilization), nil
+		}
+		return g.TaskSet(spec.Utilization), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*model.TaskSet), nil
+}

@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+func testEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e := New(cfg)
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestAnalyzeMatchesDirect pins the engine path to the plain library
+// path on the paper's Figure 1 example, for every method.
+func TestAnalyzeMatchesDirect(t *testing.T) {
+	e := testEngine(t, Config{})
+	ts := fixture.TaskSet()
+	for _, method := range core.Methods() {
+		spec := AnalyzeSpec{Cores: fixture.M, Method: method}
+		got, err := e.Analyze(context.Background(), ts, spec)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		a := core.MustNew(core.Options{Cores: fixture.M, Method: method})
+		want, err := a.Analyze(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%v: engine report differs from direct analysis:\n%s\nvs\n%s",
+				method, got, want)
+		}
+	}
+}
+
+func TestAnalyzeBatchOrderAndErrors(t *testing.T) {
+	e := testEngine(t, Config{Workers: 4})
+	ts := fixture.TaskSet()
+	sets := []*model.TaskSet{ts, ts, ts}
+	specs := []AnalyzeSpec{
+		{Cores: fixture.M, Method: core.LPILP},
+		{Cores: 0, Method: core.LPILP}, // invalid: must fail alone
+		{Cores: fixture.M, Method: core.LPMax},
+	}
+	reports, errs, err := e.AnalyzeBatch(context.Background(), sets, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("valid requests failed: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("invalid cores should fail its slot")
+	}
+	if reports[0] == nil || reports[0].Method != core.LPILP {
+		t.Errorf("slot 0: want LP-ILP report, got %+v", reports[0])
+	}
+	if reports[2] == nil || reports[2].Method != core.LPMax {
+		t.Errorf("slot 2: want LP-max report, got %+v", reports[2])
+	}
+
+	if _, _, err := e.AnalyzeBatch(context.Background(), sets, specs[:2]); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	e := testEngine(t, Config{})
+	spec := GenerateSpec{Seed: 7, Group: gen.GroupMixed, Utilization: 2}
+	a, err := e.Generate(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Generate(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := a.MarshalJSON()
+	jb, _ := b.MarshalJSON()
+	if string(ja) != string(jb) {
+		t.Error("same seed should generate identical task sets")
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	e := testEngine(t, Config{})
+	res, err := e.Simulate(context.Background(), fixture.TaskSet(),
+		SimulateSpec{Cores: fixture.M, Duration: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) == 0 {
+		t.Error("simulation completed no jobs")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	e := testEngine(t, Config{Workers: 2})
+	ctx := context.Background()
+	ts := fixture.TaskSet()
+	for i := 0; i < 3; i++ {
+		if _, err := e.Analyze(ctx, ts, AnalyzeSpec{Cores: fixture.M, Method: core.LPILP}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Simulate(ctx, ts, SimulateSpec{Cores: fixture.M, Duration: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Generate(ctx, GenerateSpec{Seed: 1, Utilization: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Analyses != 3 || s.Simulations != 1 || s.Generations != 1 {
+		t.Errorf("served counters = %d/%d/%d, want 3/1/1",
+			s.Analyses, s.Simulations, s.Generations)
+	}
+	if s.JobsServed() != 5 {
+		t.Errorf("JobsServed = %d, want 5", s.JobsServed())
+	}
+	if s.QueueDepth != 0 {
+		t.Errorf("queue depth = %d after quiescence, want 0", s.QueueDepth)
+	}
+	// The repeated identical analyses must have hit the cache.
+	if s.Cache.Hits == 0 {
+		t.Errorf("expected cache hits from repeated analyses, got %+v", s.Cache)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	e := New(Config{Workers: 1})
+	e.Close()
+	e.Close() // idempotent
+	_, err := e.Analyze(context.Background(), fixture.TaskSet(),
+		AnalyzeSpec{Cores: fixture.M, Method: core.LPMax})
+	if err != ErrClosed {
+		t.Fatalf("Analyze after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestContextCancelWhileQueued(t *testing.T) {
+	e := testEngine(t, Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		// Occupy the single worker.
+		e.submit(context.Background(), JobAnalyze, func() (any, error) {
+			<-release
+			return nil, nil
+		})
+	}()
+	// Give the blocker time to reach the worker.
+	for e.Stats().QueueDepth == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	// Fill the one-slot queue, then overflow it: both must unblock on
+	// ctx expiry rather than hang.
+	var errs [2]error
+	var wg sync.WaitGroup
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.submit(ctx, JobAnalyze, func() (any, error) { return nil, nil })
+		}(i)
+	}
+	wg.Wait()
+	close(release)
+	<-blockerDone
+	for i, err := range errs {
+		if err != nil && err != context.DeadlineExceeded {
+			t.Errorf("submit %d: unexpected error %v", i, err)
+		}
+	}
+	if errs[0] == nil && errs[1] == nil {
+		t.Error("at least the overflowed submit should have timed out")
+	}
+}
+
+// TestConcurrentEngineHammer fans many mixed jobs over a small pool;
+// with -race this certifies the pool and the shared cache together.
+func TestConcurrentEngineHammer(t *testing.T) {
+	e := testEngine(t, Config{Workers: 4, QueueDepth: 2, CacheEntries: 64})
+	ctx := context.Background()
+	ts := fixture.TaskSet()
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch (w + i) % 3 {
+				case 0:
+					method := core.Methods()[i%3]
+					if _, err := e.Analyze(ctx, ts, AnalyzeSpec{Cores: fixture.M, Method: method}); err != nil {
+						t.Errorf("analyze: %v", err)
+					}
+				case 1:
+					if _, err := e.Simulate(ctx, ts, SimulateSpec{Cores: fixture.M, Duration: 200}); err != nil {
+						t.Errorf("simulate: %v", err)
+					}
+				case 2:
+					if _, err := e.Generate(ctx, GenerateSpec{Seed: int64(i), Utilization: 1.5}); err != nil {
+						t.Errorf("generate: %v", err)
+					}
+				}
+				e.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := e.Stats()
+	if s.JobsServed() != 12*20 {
+		t.Errorf("JobsServed = %d, want %d", s.JobsServed(), 12*20)
+	}
+	if s.Failed != 0 {
+		t.Errorf("%d jobs failed", s.Failed)
+	}
+}

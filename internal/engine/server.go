@@ -1,0 +1,452 @@
+package engine
+
+// HTTP front end of the engine: a stdlib-only JSON API served by
+// cmd/lpdag-serve.
+//
+//	POST /v1/analyze   batch response-time analysis
+//	POST /v1/simulate  discrete-event scheduler simulation
+//	POST /v1/generate  random task-set generation (paper populations)
+//	GET  /healthz      liveness probe
+//	GET  /stats        engine + cache counters
+//
+// Every POST body is capped at ServerConfig.MaxBodyBytes and the number
+// of concurrently served requests at MaxInFlight (excess requests get
+// 503, the caller's signal to back off — the engine's own queue already
+// provides backpressure per job).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+// ServerConfig parameterises the HTTP handler.
+type ServerConfig struct {
+	// MaxBodyBytes caps a request body; 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxInFlight caps concurrently served requests; 0 means
+	// DefaultMaxInFlight.
+	MaxInFlight int
+	// MaxBatch caps the task sets in one analyze batch; 0 means
+	// DefaultMaxBatch.
+	MaxBatch int
+}
+
+// Server limits. The per-job compute caps exist because the HTTP
+// boundary is where untrusted sizes arrive: a single tiny request must
+// not be able to pin a worker on an effectively unbounded simulation or
+// generation (the library-level engine API deliberately stays
+// uncapped — embedders control their own inputs).
+const (
+	DefaultMaxBodyBytes = 8 << 20 // 8 MiB
+	DefaultMaxInFlight  = 256
+	DefaultMaxBatch     = 1024
+
+	// MaxSimDuration bounds one simulation's horizon; at the paper's
+	// time scales this is minutes of wall clock on one worker.
+	MaxSimDuration = 100_000_000
+	// MaxSimJobs bounds the released jobs of one simulation (applied
+	// as the default when the request leaves max_jobs unset).
+	MaxSimJobs = 10_000_000
+	// MaxGenUtilization and MaxGenTasks bound one generated task set.
+	MaxGenUtilization = 1024
+	MaxGenTasks       = 4096
+)
+
+// server dispatches HTTP requests onto an Engine.
+type server struct {
+	eng      *Engine
+	cfg      ServerConfig
+	inFlight chan struct{}
+	requests uint64 // HTTP requests admitted (atomic)
+}
+
+// NewServer returns the engine's HTTP handler.
+func NewServer(e *Engine, cfg ServerConfig) http.Handler {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	s := &server{eng: e, cfg: cfg, inFlight: make(chan struct{}, cfg.MaxInFlight)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.limited(s.handleAnalyze))
+	mux.HandleFunc("POST /v1/simulate", s.limited(s.handleSimulate))
+	mux.HandleFunc("POST /v1/generate", s.limited(s.handleGenerate))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// limited wraps a handler with the in-flight semaphore and body cap.
+func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inFlight <- struct{}{}:
+			defer func() { <-s.inFlight }()
+		default:
+			writeError(w, http.StatusServiceUnavailable, "server at capacity, retry later")
+			return
+		}
+		atomic.AddUint64(&s.requests, 1)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // nothing useful to do with a write error mid-body
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decode parses the body into v, mapping oversized bodies to 413 and
+// malformed JSON to 400. It reports whether decoding succeeded.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return false
+	}
+	return true
+}
+
+// parseMethod maps the wire spelling to a core.Method ("" = LP-ILP).
+func parseMethod(s string) (core.Method, error) {
+	switch s {
+	case "", "lp-ilp":
+		return core.LPILP, nil
+	case "lp-max":
+		return core.LPMax, nil
+	case "fp-ideal":
+		return core.FPIdeal, nil
+	}
+	return 0, fmt.Errorf("unknown method %q (want fp-ideal | lp-ilp | lp-max)", s)
+}
+
+// parseBackend maps the wire spelling to a core.Backend ("" =
+// combinatorial).
+func parseBackend(s string) (core.Backend, error) {
+	switch s {
+	case "", "combinatorial":
+		return core.Combinatorial, nil
+	case "paper-ilp":
+		return core.PaperILP, nil
+	}
+	return 0, fmt.Errorf("unknown backend %q (want combinatorial | paper-ilp)", s)
+}
+
+// analyzeItem is one batch element: a task set plus optional per-request
+// overrides of the top-level defaults.
+type analyzeItem struct {
+	TaskSet json.RawMessage `json:"taskset"`
+	Cores   *int            `json:"cores,omitempty"`
+	Method  *string         `json:"method,omitempty"`
+	Backend *string         `json:"backend,omitempty"`
+}
+
+// analyzeRequest is the /v1/analyze body: defaults plus a batch.
+type analyzeRequest struct {
+	Cores    int           `json:"cores,omitempty"`   // default 4
+	Method   string        `json:"method,omitempty"`  // default "lp-ilp"
+	Backend  string        `json:"backend,omitempty"` // default "combinatorial"
+	Requests []analyzeItem `json:"requests"`
+}
+
+// taskReportJSON is the wire form of one core.TaskReport.
+type taskReportJSON struct {
+	Name         string `json:"name"`
+	Schedulable  bool   `json:"schedulable"`
+	Analyzed     bool   `json:"analyzed"`
+	ResponseTime int64  `json:"response_time"`
+	Deadline     int64  `json:"deadline"`
+	DeltaM       int64  `json:"delta_m"`
+	DeltaM1      int64  `json:"delta_m1"`
+	Preemptions  int64  `json:"preemptions"`
+	Iterations   int    `json:"iterations"`
+}
+
+// analyzeResult is one batch element's outcome; exactly one of Error or
+// the report fields is meaningful.
+type analyzeResult struct {
+	Error       string           `json:"error,omitempty"`
+	Schedulable bool             `json:"schedulable"`
+	Method      string           `json:"method,omitempty"`
+	Cores       int              `json:"cores,omitempty"`
+	Utilization float64          `json:"utilization,omitempty"`
+	Tasks       []taskReportJSON `json:"tasks,omitempty"`
+}
+
+func reportJSON(rep *core.Report) analyzeResult {
+	out := analyzeResult{
+		Schedulable: rep.Schedulable,
+		Method:      rep.Method.String(),
+		Cores:       rep.Cores,
+		Utilization: rep.Utilization,
+		Tasks:       make([]taskReportJSON, len(rep.Tasks)),
+	}
+	for i, tr := range rep.Tasks {
+		out.Tasks[i] = taskReportJSON{
+			Name:         tr.Name,
+			Schedulable:  tr.Schedulable,
+			Analyzed:     tr.Analyzed,
+			ResponseTime: tr.ResponseTime,
+			Deadline:     tr.Deadline,
+			DeltaM:       tr.DeltaM,
+			DeltaM1:      tr.DeltaM1,
+			Preemptions:  tr.Preemptions,
+			Iterations:   tr.Iterations,
+		}
+	}
+	return out
+}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch: requests must hold at least one task set")
+		return
+	}
+	if len(req.Requests) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Requests), s.cfg.MaxBatch)
+		return
+	}
+	if req.Cores == 0 {
+		req.Cores = 4
+	}
+
+	results := make([]analyzeResult, len(req.Requests))
+	sets := make([]*model.TaskSet, 0, len(req.Requests))
+	specs := make([]AnalyzeSpec, 0, len(req.Requests))
+	slots := make([]int, 0, len(req.Requests)) // result index per submitted job
+	for i, item := range req.Requests {
+		spec := AnalyzeSpec{Cores: req.Cores}
+		methodStr, backendStr := req.Method, req.Backend
+		if item.Cores != nil {
+			spec.Cores = *item.Cores
+		}
+		if item.Method != nil {
+			methodStr = *item.Method
+		}
+		if item.Backend != nil {
+			backendStr = *item.Backend
+		}
+		var err error
+		if spec.Method, err = parseMethod(methodStr); err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		if spec.Backend, err = parseBackend(backendStr); err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		if len(item.TaskSet) == 0 {
+			results[i].Error = "missing taskset"
+			continue
+		}
+		ts := new(model.TaskSet)
+		if err := ts.UnmarshalJSON(item.TaskSet); err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		sets = append(sets, ts)
+		specs = append(specs, spec)
+		slots = append(slots, i)
+	}
+
+	reports, errs, err := s.eng.AnalyzeBatch(r.Context(), sets, specs)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "batch aborted: %v", err)
+		return
+	}
+	for j, slot := range slots {
+		if errs[j] != nil {
+			results[slot].Error = errs[j].Error()
+			continue
+		}
+		results[slot] = reportJSON(reports[j])
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+// simulateRequest is the /v1/simulate body.
+type simulateRequest struct {
+	TaskSet  json.RawMessage `json:"taskset"`
+	Cores    int             `json:"cores,omitempty"`    // default 4
+	Duration int64           `json:"duration,omitempty"` // default 10000
+	MaxJobs  int             `json:"max_jobs,omitempty"`
+}
+
+// simulateResponse summarises a run.
+type simulateResponse struct {
+	Jobs        int     `json:"jobs"`
+	Misses      int     `json:"misses"`
+	MaxResponse []int64 `json:"max_response"`
+	Horizon     int64   `json:"horizon"`
+	CoreBusy    []int64 `json:"core_busy"`
+}
+
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.TaskSet) == 0 {
+		writeError(w, http.StatusBadRequest, "missing taskset")
+		return
+	}
+	ts := new(model.TaskSet)
+	if err := ts.UnmarshalJSON(req.TaskSet); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid taskset: %v", err)
+		return
+	}
+	if req.Cores == 0 {
+		req.Cores = 4
+	}
+	if req.Duration == 0 {
+		req.Duration = 10000
+	}
+	if req.Duration > MaxSimDuration {
+		writeError(w, http.StatusBadRequest, "duration %d exceeds limit %d", req.Duration, MaxSimDuration)
+		return
+	}
+	if req.MaxJobs <= 0 || req.MaxJobs > MaxSimJobs {
+		req.MaxJobs = MaxSimJobs
+	}
+	res, err := s.eng.Simulate(r.Context(), ts, SimulateSpec{
+		Cores: req.Cores, Duration: req.Duration, MaxJobs: req.MaxJobs,
+	})
+	if err != nil {
+		writeError(w, statusForJobError(err), "simulate: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simulateResponse{
+		Jobs:        len(res.Jobs),
+		Misses:      res.Misses,
+		MaxResponse: res.MaxResponse,
+		Horizon:     res.Horizon,
+		CoreBusy:    res.CoreBusy,
+	})
+}
+
+// generateRequest is the /v1/generate body.
+type generateRequest struct {
+	Seed        int64   `json:"seed"`
+	Group       string  `json:"group,omitempty"` // "mixed" (default) | "parallel"
+	Utilization float64 `json:"utilization,omitempty"`
+	Tasks       int     `json:"tasks,omitempty"`
+	SeqProb     float64 `json:"seqprob,omitempty"`
+	Count       int     `json:"count,omitempty"` // task sets to produce, default 1
+}
+
+func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req generateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var group gen.Group
+	switch req.Group {
+	case "", "mixed":
+		group = gen.GroupMixed
+	case "parallel":
+		group = gen.GroupParallel
+	default:
+		writeError(w, http.StatusBadRequest, "unknown group %q (want mixed | parallel)", req.Group)
+		return
+	}
+	if req.Utilization <= 0 {
+		req.Utilization = 2
+	}
+	if req.Utilization > MaxGenUtilization {
+		writeError(w, http.StatusBadRequest, "utilization %g exceeds limit %d", req.Utilization, MaxGenUtilization)
+		return
+	}
+	if req.Tasks > MaxGenTasks {
+		writeError(w, http.StatusBadRequest, "tasks %d exceeds limit %d", req.Tasks, MaxGenTasks)
+		return
+	}
+	if req.Count <= 0 {
+		req.Count = 1
+	}
+	if req.Count > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "count %d exceeds limit %d", req.Count, s.cfg.MaxBatch)
+		return
+	}
+	// Fan the generations out over the worker pool (each is
+	// deterministic in its own derived seed, so order is preserved by
+	// slot, not by completion).
+	sets := make([]json.RawMessage, req.Count)
+	errs := make([]error, req.Count)
+	forEachBounded(req.Count, s.eng.Workers(), func(i int) {
+		ts, err := s.eng.Generate(r.Context(), GenerateSpec{
+			Seed: req.Seed + int64(i), Group: group,
+			Utilization: req.Utilization, Tasks: req.Tasks, SeqProb: req.SeqProb,
+		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		sets[i], errs[i] = ts.MarshalJSON()
+	})
+	for _, err := range errs {
+		if err != nil {
+			writeError(w, statusForJobError(err), "generate: %v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tasksets": sets})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statsResponse augments the engine stats with server-level counters.
+type statsResponse struct {
+	Stats
+	HTTPRequests uint64  `json:"http_requests"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:        st,
+		HTTPRequests: atomic.LoadUint64(&s.requests),
+		CacheHitRate: st.Cache.HitRate(),
+	})
+}
+
+// statusForJobError maps engine-level submission failures to HTTP codes.
+func statusForJobError(err error) int {
+	if errors.Is(err, ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/blocking"
 	"repro/internal/core"
+	"repro/internal/engine/cache"
 	"repro/internal/fixture"
 	"repro/internal/gen"
 	"repro/internal/model"
@@ -79,16 +80,20 @@ func Figure2(cfg Fig2Config) []CurvePoint {
 	for u := cfg.UStart; u <= cfg.UEnd+1e-9; u += cfg.UStep {
 		us = append(us, math.Round(u*1e6)/1e6)
 	}
+	// One content-addressed cache for the whole sweep: the three
+	// methods analyze each generated set back to back, and the µ/Δ/top
+	// quantities they share are computed once.
+	memo := cache.New(0)
 	points := make([]CurvePoint, len(us))
 	for i, u := range us {
-		points[i] = runPoint(cfg, u, cfg.Seed+int64(i)*7919)
+		points[i] = runPoint(cfg, u, cfg.Seed+int64(i)*7919, memo)
 	}
 	return points
 }
 
 // runPoint generates SetsPerPoint task sets at utilization u and counts
 // the schedulable fraction per method.
-func runPoint(cfg Fig2Config, u float64, seed int64) CurvePoint {
+func runPoint(cfg Fig2Config, u float64, seed int64, memo *cache.Cache) CurvePoint {
 	n := cfg.SetsPerPoint
 	if n < 1 {
 		n = 1
@@ -120,7 +125,7 @@ func runPoint(cfg Fig2Config, u float64, seed int64) CurvePoint {
 			defer func() { <-sem }()
 			local := make(map[core.Method]bool, 3)
 			for _, method := range core.Methods() {
-				a := core.MustNew(core.Options{Cores: cfg.M, Method: method, Backend: cfg.Backend})
+				a := core.MustNew(core.Options{Cores: cfg.M, Method: method, Backend: cfg.Backend, Cache: memo})
 				ok, err := a.Schedulable(ts)
 				if err != nil {
 					panic(err) // sets are pre-validated; unreachable
@@ -248,6 +253,7 @@ func TasksSweep(cfg TasksSweepConfig) []TasksSweepPoint {
 	if sets < 1 {
 		sets = 1
 	}
+	memo := cache.New(0)
 	var out []TasksSweepPoint
 	for n := cfg.NStart; n <= cfg.NEnd; n++ {
 		g := gen.New(cfg.Seed+int64(n)*104729, gen.PaperParams(cfg.Group))
@@ -255,7 +261,7 @@ func TasksSweep(cfg TasksSweepConfig) []TasksSweepPoint {
 		for i := 0; i < sets; i++ {
 			ts := g.TaskSetN(n, cfg.U)
 			for _, method := range core.Methods() {
-				a := core.MustNew(core.Options{Cores: cfg.M, Method: method, Backend: cfg.Backend})
+				a := core.MustNew(core.Options{Cores: cfg.M, Method: method, Backend: cfg.Backend, Cache: memo})
 				ok, err := a.Schedulable(ts)
 				if err != nil {
 					panic(err) // generated sets are valid; unreachable
@@ -338,6 +344,8 @@ type TimingResult struct {
 }
 
 // Timing measures the LP-ILP schedulability-test runtime per task set.
+// It deliberately runs without the shared result cache: the measurement
+// is of the analysis itself, and every generated set is distinct anyway.
 func Timing(cfg TimingConfig) []TimingResult {
 	if cfg.UFrac <= 0 {
 		cfg.UFrac = 0.4
@@ -455,6 +463,9 @@ func Variants(cfg Fig2Config) []VariantPoint {
 	if cfg.UStep <= 0 {
 		cfg.UStep = 0.25
 	}
+	// The three variants differ only in the fixed-point iteration; the
+	// blocking quantities they share come from one cache.
+	memo := cache.New(0)
 	var out []VariantPoint
 	idx := 0
 	for u := cfg.UStart; u <= cfg.UEnd+1e-9; u += cfg.UStep {
@@ -474,9 +485,9 @@ func Variants(cfg Fig2Config) []VariantPoint {
 		for i := 0; i < n; i++ {
 			ts := g.TaskSet(uu)
 			for vi, vcfg := range []rta.Config{
-				{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend},
-				{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend, FinalNPRRefinement: true},
-				{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend, AblateRepeatedBlocking: true},
+				{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend, Cache: memo},
+				{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend, Cache: memo, FinalNPRRefinement: true},
+				{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend, Cache: memo, AblateRepeatedBlocking: true},
 			} {
 				res, err := rta.Analyze(ts, vcfg)
 				if err != nil {
@@ -542,7 +553,7 @@ func Pessimism(cfg PessimismConfig) PessimismResult {
 		cfg.Sets = 1
 	}
 	g := gen.New(cfg.Seed, gen.PaperParams(gen.GroupMixed))
-	a := core.MustNew(core.Options{Cores: cfg.M, Method: core.LPILP, Backend: cfg.Backend})
+	a := core.MustNew(core.Options{Cores: cfg.M, Method: core.LPILP, Backend: cfg.Backend, Cache: cache.New(0)})
 	res := PessimismResult{Sets: cfg.Sets}
 	for i := 0; i < cfg.Sets; i++ {
 		ts := g.TaskSet(cfg.U)

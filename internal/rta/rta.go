@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/blocking"
 	"repro/internal/dag"
+	"repro/internal/engine/cache"
 	"repro/internal/model"
 )
 
@@ -66,6 +67,14 @@ type Config struct {
 	M       int    // number of identical cores, ≥ 1
 	Method  Method // analysis variant
 	Backend blocking.Backend
+
+	// Cache, when non-nil, memoizes the content-addressed derived
+	// quantities (per-graph µ tables, top-NPR lists, and the aggregated
+	// Δ interference of lower-priority suffixes) across Analyze calls.
+	// Sharing one cache across the many analyses of a sweep or a server
+	// workload skips recomputing them for graphs already seen; results
+	// are identical with or without it.
+	Cache *cache.Cache
 
 	// MaxIterations bounds the fixed-point loop per task as a safety
 	// net; 0 means DefaultMaxIterations. The iteration is monotone and
@@ -162,13 +171,26 @@ func Analyze(ts *model.TaskSet, cfg Config) (*Result, error) {
 		Tasks: make([]TaskResult, n)}
 
 	// µ tables are task-local ("compile-time" per the paper): compute
-	// once for the whole set when the method needs them.
+	// once for the whole set when the method needs them, through the
+	// content-addressed cache when one is configured.
 	var mus [][]int64
-	if cfg.Method == LPILP {
+	if cfg.Method == LPILP && cfg.Cache == nil {
 		mus = make([][]int64, n)
 		for i, t := range ts.Tasks {
 			mus[i] = blocking.Mu(t.G, cfg.M, cfg.Backend)
 		}
+	}
+
+	// Structural quantities read on every fixed-point iteration,
+	// and the graph list whose suffixes are the lower-priority sets.
+	// vol/L are O(graph) — computing them here is as cheap as any
+	// cache lookup, so they are deliberately not memoized.
+	vols := make([]int64, n)
+	longs := make([]int64, n)
+	graphs := make([]*dag.Graph, n)
+	for i, t := range ts.Tasks {
+		vols[i], longs[i] = t.G.Volume(), t.G.LongestPath()
+		graphs[i] = t.G
 	}
 
 	// Response-time bounds of already-analyzed higher-priority tasks,
@@ -187,8 +209,8 @@ func Analyze(ts *model.TaskSet, cfg Config) (*Result, error) {
 		}
 		tr.Analyzed = true
 
-		l := task.G.LongestPath()
-		vol := task.G.Volume()
+		l := longs[k]
+		vol := vols[k]
 		dm := m64 * task.Deadline
 
 		// Lower-priority blocking terms (independent of the window).
@@ -196,14 +218,20 @@ func Analyze(ts *model.TaskSet, cfg Config) (*Result, error) {
 		case FPIdeal:
 			// no blocking
 		case LPMax:
-			lpGraphs := make([]*dag.Graph, 0, n-k-1)
-			for _, lt := range ts.LowerPriority(k) {
-				lpGraphs = append(lpGraphs, lt.G)
+			var in blocking.Interference
+			if cfg.Cache != nil {
+				in = cfg.Cache.InterferenceLPMax(graphs[k+1:], cfg.M)
+			} else {
+				in = blocking.Compute(graphs[k+1:], cfg.M, blocking.LPMax, cfg.Backend)
 			}
-			in := blocking.Compute(lpGraphs, cfg.M, blocking.LPMax, cfg.Backend)
 			tr.DeltaM, tr.DeltaM1 = in.DeltaM, in.DeltaM1
 		case LPILP:
-			in := blocking.ComputeFromMus(mus[k+1:], cfg.M, cfg.Backend)
+			var in blocking.Interference
+			if cfg.Cache != nil {
+				in = cfg.Cache.InterferenceLPILP(graphs[k+1:], cfg.M, cfg.Backend)
+			} else {
+				in = blocking.ComputeFromMus(mus[k+1:], cfg.M, cfg.Backend)
+			}
 			tr.DeltaM, tr.DeltaM1 = in.DeltaM, in.DeltaM1
 		default:
 			return nil, fmt.Errorf("rta: unknown method %v", cfg.Method)
@@ -233,7 +261,7 @@ func Analyze(ts *model.TaskSet, cfg Config) (*Result, error) {
 			ihp := int64(0)
 			hk := int64(0)
 			for i := 0; i < k; i++ {
-				ihp += carryInWorkload(cur, rm[i], ts.Tasks[i], m64)
+				ihp += carryInWorkload(cur, rm[i], vols[i], ts.Tasks[i].Period, m64)
 				ti := m64 * ts.Tasks[i].Period
 				hk += (cur + ti - 1) / ti // ⌈S/T_i⌉ in scaled form
 			}
@@ -271,14 +299,14 @@ func Analyze(ts *model.TaskSet, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// carryInWorkload evaluates W_i for interferer task in a scaled window.
-func carryInWorkload(windowM, rmI int64, task *model.Task, m64 int64) int64 {
-	vol := task.G.Volume()
+// carryInWorkload evaluates W_i for an interferer with the given volume
+// and period in a scaled window.
+func carryInWorkload(windowM, rmI, vol, taskPeriod, m64 int64) int64 {
 	x := windowM + rmI - vol
 	if x < 0 {
 		return 0
 	}
-	period := m64 * task.Period
+	period := m64 * taskPeriod
 	w := (x/period)*vol + minInt64(vol, x%period)
 	return w
 }

@@ -38,10 +38,13 @@ package lpdag
 
 import (
 	"io"
+	"net/http"
 
 	"repro/internal/blocking"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/engine"
+	"repro/internal/engine/cache"
 	"repro/internal/fixture"
 	"repro/internal/gen"
 	"repro/internal/model"
@@ -229,6 +232,46 @@ func AnalyzeRefined(ts *TaskSet, cores int, method Method) (*rta.Result, error) 
 		M: cores, Method: method, FinalNPRRefinement: true,
 	})
 }
+
+// Service types (see internal/engine): the long-running concurrent
+// analysis engine and its HTTP front end (cmd/lpdag-serve).
+type (
+	// Engine is a bounded worker pool executing analyze/simulate/
+	// generate jobs over a shared content-addressed result cache.
+	Engine = engine.Engine
+	// EngineConfig sizes an Engine (workers, queue, cache).
+	EngineConfig = engine.Config
+	// EngineStats snapshots the engine's job and cache counters.
+	EngineStats = engine.Stats
+	// AnalyzeSpec selects per-request analysis parameters.
+	AnalyzeSpec = engine.AnalyzeSpec
+	// SimulateSpec parameterises an engine simulation job.
+	SimulateSpec = engine.SimulateSpec
+	// GenerateSpec parameterises an engine generation job.
+	GenerateSpec = engine.GenerateSpec
+	// ServerConfig limits the HTTP front end (body size, in-flight
+	// requests, batch size).
+	ServerConfig = engine.ServerConfig
+	// Cache is the content-addressed memo store for derived analysis
+	// quantities (µ tables, top-NPR lists, Δ terms); share one via
+	// Options.Cache to make repeated analyses of overlapping task sets
+	// cheap.
+	Cache = cache.Cache
+	// CacheStats snapshots a Cache's hit/miss/eviction counters.
+	CacheStats = cache.Stats
+)
+
+// NewEngine starts a concurrent analysis engine; Close it when done.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// NewEngineServer returns the engine's HTTP handler (the lpdag-serve
+// API: POST /v1/analyze, /v1/simulate, /v1/generate, GET /healthz,
+// /stats).
+func NewEngineServer(e *Engine, cfg ServerConfig) http.Handler { return engine.NewServer(e, cfg) }
+
+// NewCache returns a bounded content-addressed result cache
+// (maxEntries ≤ 0 selects the default bound).
+func NewCache(maxEntries int) *Cache { return cache.New(maxEntries) }
 
 // Sequential-task substrate (see internal/seqlp): the RTNS 2015 analysis
 // of Thekkilakattil et al. the paper generalises to DAGs.

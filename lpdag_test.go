@@ -2,6 +2,7 @@ package lpdag
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -193,5 +194,55 @@ func TestFacadeSimStats(t *testing.T) {
 	}
 	if !strings.Contains(res.StatsTable(ts), "p95") {
 		t.Error("stats table malformed")
+	}
+}
+
+func TestFacadeEngine(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 2})
+	defer e.Close()
+	ts := PaperExample()
+	rep, err := e.Analyze(context.Background(), ts, AnalyzeSpec{Cores: 4, Method: LPILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Analyze(ts, 4, LPILP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.String() != direct.String() {
+		t.Errorf("engine and direct analysis disagree:\n%s\nvs\n%s", rep, direct)
+	}
+	// A second identical request must be served from the cache.
+	if _, err := e.Analyze(context.Background(), ts, AnalyzeSpec{Cores: 4, Method: LPILP}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Analyses != 2 || st.Cache.Hits == 0 {
+		t.Errorf("stats after repeat: %+v", st)
+	}
+}
+
+func TestFacadeSharedCache(t *testing.T) {
+	memo := NewCache(128)
+	ts := PaperExample()
+	for _, method := range []Method{LPILP, LPMax} {
+		a, err := NewAnalyzer(Options{Cores: 4, Method: method, Cache: memo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, err := a.Analyze(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := Analyze(ts, 4, method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached.String() != plain.String() {
+			t.Errorf("%v: cached analysis drifted:\n%s\nvs\n%s", method, cached, plain)
+		}
+	}
+	if s := memo.Stats(); s.Misses == 0 {
+		t.Errorf("cache never populated: %+v", s)
 	}
 }
