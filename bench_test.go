@@ -304,3 +304,42 @@ func BenchmarkEngineCachedSweep(b *testing.B) { benchEngineSweep(b, 0) }
 // BenchmarkEngineUncachedSweep is the same workload with caching
 // disabled — the baseline for the cache speedup.
 func BenchmarkEngineUncachedSweep(b *testing.B) { benchEngineSweep(b, -1) }
+
+// benchCampaignSweep runs one fixed multi-scenario campaign through the
+// sharded orchestrator at a given worker count. Each iteration builds a
+// fresh engine (and blocking-term cache), so iterations do not feed each
+// other and the serial/parallel comparison is honest.
+func benchCampaignSweep(b *testing.B, workers int) {
+	b.Helper()
+	cfg := experiments.CampaignConfig{
+		Seed:         42,
+		Ms:           []int{4, 8},
+		UFracs:       []float64{0.2, 0.4, 0.6, 0.8},
+		SetsPerPoint: 6,
+		Scenarios: []experiments.Scenario{
+			{Name: "mixed", Group: GroupMixed},
+			{Name: "parallel", Group: GroupParallel},
+		},
+		Workers: workers,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunCampaign(cfg, experiments.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 16 {
+			b.Fatalf("%d points, want 16", len(results))
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the orchestrator pinned to one worker — the
+// serial baseline for the parallel-speedup acceptance check.
+func BenchmarkSweepSerial(b *testing.B) { benchCampaignSweep(b, 1) }
+
+// BenchmarkSweepParallel runs the same campaign on 8 workers; compare
+// ns/op against BenchmarkSweepSerial for the sweep speedup (the
+// campaign's points are independent, so it should approach 8× on ≥ 8
+// free cores).
+func BenchmarkSweepParallel(b *testing.B) { benchCampaignSweep(b, 8) }

@@ -14,6 +14,15 @@
 //	lpdag-experiments -variants -m 4          # refinement/ablation study
 //	lpdag-experiments -pessimism -m 4 -u 2    # analysis vs simulation
 //	lpdag-experiments -all -sets 50           # everything, reduced size
+//
+// The extended campaign orchestrator sweeps scenario families × core
+// counts × utilizations in parallel, streaming results as JSON lines
+// (byte-identical for any -workers / -shards):
+//
+//	lpdag-experiments -campaign -scenarios mixed,wide,deep \
+//	    -ms 4,8,16,32,64 -sets 100 -workers 8 -jsonl out.jsonl -progress
+//	lpdag-experiments -campaign -resume out.partial.jsonl -jsonl out.jsonl
+//	lpdag-experiments -soundness -points 2000   # sim-vs-analysis harness
 package main
 
 import (
@@ -21,6 +30,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -49,6 +61,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seqProb    = fs.Float64("seqprob", 0, "override mixed-group sequential-task probability")
 		csvPath    = fs.String("csv", "", "also write the active sweep as CSV to this file")
 		backend    = fs.String("backend", "combinatorial", "LP-ILP solver: combinatorial | paper-ilp")
+
+		campaign  = fs.Bool("campaign", false, "run the parallel sharded sweep campaign")
+		ms        = fs.String("ms", "4,8,16", "campaign core counts (comma-separated, up to 64)")
+		ufracs    = fs.String("ufracs", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9", "campaign utilizations as fractions of m")
+		scenarios = fs.String("scenarios", "mixed", "campaign scenario families (comma-separated; see -list-scenarios)")
+		listScen  = fs.Bool("list-scenarios", false, "list the scenario registry and exit")
+		workers   = fs.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
+		shards    = fs.Int("shards", 0, "campaign shard count (0 = auto; never affects results)")
+		jsonlPath = fs.String("jsonl", "", "stream campaign results as JSON lines to this file (- = stdout)")
+		resume    = fs.String("resume", "", "resume a campaign from a partial JSONL file (same seed and grid)")
+		progress  = fs.Bool("progress", false, "report campaign progress and ETA on stderr")
+
+		soundness = fs.Bool("soundness", false, "run the simulation-vs-analysis soundness harness")
+		points    = fs.Int("points", 1000, "generated points for -soundness")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,7 +91,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *listScen {
+		fmt.Fprintln(stdout, "scenario families:")
+		for _, sc := range experiments.StandardScenarios() {
+			fmt.Fprintf(stdout, "  %-12s group=%v shape=%v", sc.Name, sc.Group, sc.Shape)
+			if sc.Beta > 0 || sc.UMax > 0 {
+				fmt.Fprintf(stdout, " u∈[%.2g,%.2g]", sc.Beta, sc.UMax)
+			}
+			if sc.NPRSplit > 0 {
+				fmt.Fprintf(stdout, " npr-split=%d", sc.NPRSplit)
+			}
+			if sc.NPRCoarsen > 0 {
+				fmt.Fprintf(stdout, " npr-coarsen=%d", sc.NPRCoarsen)
+			}
+			fmt.Fprintln(stdout)
+		}
+		return 0
+	}
+
 	ran := false
+	if *campaign {
+		ran = true
+		code := runCampaign(campaignArgs{
+			seed: *seed, ms: *ms, ufracs: *ufracs, scenarios: *scenarios,
+			sets: *sets, workers: *workers, shards: *shards, backend: be,
+			jsonlPath: *jsonlPath, csvPath: *csvPath, resume: *resume,
+			progress: *progress,
+		}, stdout, stderr)
+		if code != 0 {
+			return code
+		}
+	}
+	if *soundness {
+		ran = true
+		rep, err := experiments.RunSoundness(experiments.SoundnessConfig{
+			Seed: *seed, Points: *points, Backend: be, Workers: *workers,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "lpdag-experiments: soundness: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "soundness: %d points, %d analyses, %d simulations, %d violations\n",
+			rep.Points, rep.Analyses, rep.Sims, rep.TotalViolations)
+		if rep.TotalViolations > 0 {
+			for _, v := range rep.Violations {
+				fmt.Fprintf(stdout, "  VIOLATION %s\n", v)
+			}
+			return 1
+		}
+	}
 	if *tables || *all {
 		ran = true
 		fmt.Fprintln(stdout, experiments.TableIText())
@@ -160,6 +234,148 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// campaignArgs bundles the -campaign flag values.
+type campaignArgs struct {
+	seed                  int64
+	ms, ufracs, scenarios string
+	sets, workers, shards int
+	backend               core.Backend
+	jsonlPath, csvPath    string
+	resume                string
+	progress              bool
+}
+
+func runCampaign(a campaignArgs, stdout, stderr io.Writer) int {
+	msList, err := parseIntList(a.ms)
+	if err != nil {
+		fmt.Fprintf(stderr, "lpdag-experiments: -ms: %v\n", err)
+		return 2
+	}
+	fracs, err := parseFloatList(a.ufracs)
+	if err != nil {
+		fmt.Fprintf(stderr, "lpdag-experiments: -ufracs: %v\n", err)
+		return 2
+	}
+	var scens []experiments.Scenario
+	for _, name := range strings.Split(a.scenarios, ",") {
+		sc, err := experiments.ScenarioByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintf(stderr, "lpdag-experiments: %v\n", err)
+			return 2
+		}
+		scens = append(scens, sc)
+	}
+	cfg := experiments.CampaignConfig{
+		Seed: a.seed, Ms: msList, UFracs: fracs, SetsPerPoint: a.sets,
+		Scenarios: scens, Backend: a.backend, Workers: a.workers, Shards: a.shards,
+	}
+
+	opts := experiments.RunOptions{}
+	if a.resume != "" {
+		f, err := os.Open(a.resume)
+		if err != nil {
+			fmt.Fprintf(stderr, "lpdag-experiments: -resume: %v\n", err)
+			return 1
+		}
+		prior, err := experiments.ReadCampaignJSONL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "lpdag-experiments: -resume: %v\n", err)
+			return 1
+		}
+		opts.Completed = prior
+		fmt.Fprintf(stderr, "resuming: %d points carried over from %s\n", len(prior), a.resume)
+	}
+
+	var jsonlFile *os.File
+	if a.jsonlPath == "-" {
+		opts.JSONL = stdout
+		// Keep stdout a pure JSONL stream (it must re-parse for
+		// -resume): the human summary moves to stderr.
+		stdout = stderr
+	} else if a.jsonlPath != "" {
+		jsonlFile, err = os.Create(a.jsonlPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "lpdag-experiments: -jsonl: %v\n", err)
+			return 1
+		}
+		defer jsonlFile.Close()
+		opts.JSONL = jsonlFile
+	}
+	var csvFile *os.File
+	if a.csvPath != "" {
+		csvFile, err = os.Create(a.csvPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "lpdag-experiments: -csv: %v\n", err)
+			return 1
+		}
+		defer csvFile.Close()
+		opts.CSV = csvFile
+	}
+	if a.progress {
+		opts.OnProgress = func(p experiments.Progress) {
+			fmt.Fprintf(stderr, "\rcampaign: %d/%d points (%.1f%%), elapsed %s, eta %s   ",
+				p.Done, p.Total, 100*float64(p.Done)/float64(p.Total),
+				p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
+			if p.Done == p.Total {
+				fmt.Fprintln(stderr)
+			}
+		}
+	}
+
+	results, err := experiments.RunCampaign(cfg, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "lpdag-experiments: campaign: %v\n", err)
+		return 1
+	}
+
+	// Compact per-(scenario, m) summary: LP-ILP schedulability at the
+	// ends of the utilization grid.
+	fmt.Fprintf(stdout, "campaign: %d points (%d scenarios × %d core counts × %d utilizations), %d sets/point\n",
+		len(results), len(scens), len(msList), len(fracs), cfg.SetsPerPoint)
+	method := core.LPILP.String()
+	fmt.Fprintf(stdout, "%-12s %4s %22s\n", "scenario", "m", method+" % (U low → high)")
+	perKey := map[string][]experiments.PointResult{}
+	var order []string
+	for _, r := range results {
+		key := fmt.Sprintf("%-12s %4d", r.Scenario, r.M)
+		if _, ok := perKey[key]; !ok {
+			order = append(order, key)
+		}
+		perKey[key] = append(perKey[key], r)
+	}
+	for _, key := range order {
+		rs := perKey[key]
+		first, last := rs[0], rs[len(rs)-1]
+		fmt.Fprintf(stdout, "%s %10.1f → %.1f\n", key, first.Pct(method), last.Pct(method))
+	}
+	return 0
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func writeCSV(stderr io.Writer, path, content string) int {

@@ -13,6 +13,7 @@
 //	POST /v1/analyze   batch response-time analysis
 //	POST /v1/simulate  discrete-event scheduler simulation
 //	POST /v1/generate  random task-set generation
+//	POST /v1/campaign  sweep campaign, streamed as JSON lines
 //	GET  /healthz      liveness probe
 //	GET  /stats        engine + cache counters
 //
@@ -44,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/experiments"
 )
 
 func main() {
@@ -82,10 +84,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// Request contexts deliberately do NOT derive from the signal
 	// context: SIGTERM must stop accepting and let Shutdown drain
 	// in-flight requests, not cancel them mid-analysis.
+	//
+	// The campaign orchestrator mounts beside the engine endpoints (it
+	// lives in internal/experiments, one layer above the engine).
+	mux := http.NewServeMux()
+	mux.Handle("/v1/campaign", experiments.CampaignHandler(eng))
+	mux.Handle("/", engine.NewServer(eng, engine.ServerConfig{
+		MaxBodyBytes: *maxBody, MaxInFlight: *inFlight, MaxBatch: *maxBatch,
+	}))
 	srv := &http.Server{
-		Handler: engine.NewServer(eng, engine.ServerConfig{
-			MaxBodyBytes: *maxBody, MaxInFlight: *inFlight, MaxBatch: *maxBatch,
-		}),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Fprintf(stderr, "lpdag-serve: listening on %s\n", ln.Addr())

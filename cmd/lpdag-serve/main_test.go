@@ -120,6 +120,29 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("analyze result drifted: %s", data)
 	}
 
+	// The campaign orchestrator is mounted beside the engine endpoints:
+	// a small sweep must stream parseable ndjson.
+	resp, err = http.Post(base+"/v1/campaign", "application/json", strings.NewReader(
+		`{"seed":3,"ms":[2],"u_fracs":[0.5],"sets_per_point":2,"scenarios":["mixed"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("campaign: %d: %s", resp.StatusCode, data)
+	}
+	var point struct {
+		Index int            `json:"index"`
+		Sched map[string]int `json:"sched"`
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(data), &point); err != nil {
+		t.Fatalf("campaign line: %v: %s", err, data)
+	}
+	if len(point.Sched) != 3 {
+		t.Fatalf("campaign point has %d methods: %s", len(point.Sched), data)
+	}
+
 	if code := shutdown(); code != 0 {
 		t.Fatalf("exit code %d, want 0", code)
 	}

@@ -42,6 +42,49 @@ func MaxWeightKSet(weights []int64, adj []*bitset.Set, k int) (int64, []int) {
 		return best, []int{arg}
 	}
 
+	// Twin reduction: vertices with identical adjacency sets are
+	// necessarily non-adjacent to each other (v ∉ adj[v] = adj[u]), so
+	// no valid set contains two of them, and they are interchangeable
+	// with respect to every other vertex — only the heaviest of each
+	// class can appear in an optimum. Node-split graphs (ppp.SplitNodes,
+	// the npr-fine campaign family) turn every node into a chain of such
+	// twins, so without this the branch-and-bound faces hundreds of
+	// vertices at large c; with it the problem shrinks back to the
+	// original node count. The recursion re-reduces until a fixed point
+	// (dropping twins can equalise further adjacency sets).
+	if keep := twinReduce(weights, adj); len(keep) < n {
+		inv := make([]int, n)
+		for i := range inv {
+			inv[i] = -1
+		}
+		rw := make([]int64, len(keep))
+		for i, v := range keep {
+			inv[v] = i
+			rw[i] = weights[v]
+		}
+		radj := make([]*bitset.Set, len(keep))
+		for i, v := range keep {
+			s := bitset.New(len(keep))
+			adj[v].ForEach(func(u int) bool {
+				if inv[u] >= 0 {
+					s.Add(inv[u])
+				}
+				return true
+			})
+			radj[i] = s
+		}
+		wgt, set := MaxWeightKSet(rw, radj, k)
+		if set == nil {
+			return 0, nil
+		}
+		out := make([]int, len(set))
+		for i, idx := range set {
+			out[i] = keep[idx]
+		}
+		sort.Ints(out)
+		return wgt, out
+	}
+
 	// Reorder vertices by non-increasing weight so that the candidate
 	// prefix sums give a tight admissible bound and heavy vertices are
 	// branched on first.
@@ -135,6 +178,31 @@ func MaxWeightKSet(weights []int64, adj []*bitset.Set, k int) (int64, []int) {
 	}
 	sort.Ints(out)
 	return bestW, out
+}
+
+// twinReduce partitions vertices into classes of identical adjacency
+// sets and returns the heaviest member of each class, ascending.
+func twinReduce(weights []int64, adj []*bitset.Set) []int {
+	n := len(weights)
+	claimed := make([]bool, n)
+	keep := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if claimed[v] {
+			continue
+		}
+		best := v
+		for u := v + 1; u < n; u++ {
+			if claimed[u] || !adj[v].Equal(adj[u]) {
+				continue
+			}
+			claimed[u] = true
+			if weights[u] > weights[best] {
+				best = u
+			}
+		}
+		keep = append(keep, best)
+	}
+	return keep
 }
 
 // MuTable returns µ[c] for c = 1..m (index c-1): the worst-case workload

@@ -3,6 +3,7 @@ package clique
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/dag"
@@ -272,5 +273,76 @@ func BenchmarkMuTableFigure1(b *testing.B) {
 		for j, g := range graphs {
 			MuTable(g.WCETs(), pars[j], fixture.M)
 		}
+	}
+}
+
+// twinExpand replaces every vertex of an instance with a chain of
+// `copies` mutually non-adjacent twins carrying split weights — the
+// structure ppp.SplitNodes produces. The optimum of the expanded
+// instance must pick the heaviest twin per class, i.e. equal the
+// original optimum with per-class max weights.
+func twinExpand(w []int64, adj []*bitset.Set, copies int) ([]int64, []*bitset.Set) {
+	n := len(w)
+	en := n * copies
+	ew := make([]int64, en)
+	eadj := make([]*bitset.Set, en)
+	for v := 0; v < n; v++ {
+		for c := 0; c < copies; c++ {
+			i := v*copies + c
+			ew[i] = w[v] - int64(c) // descending pieces, max piece = w[v]
+			if ew[i] < 1 {
+				ew[i] = 1
+			}
+			s := bitset.New(en)
+			adj[v].ForEach(func(u int) bool {
+				for cc := 0; cc < copies; cc++ {
+					s.Add(u*copies + cc)
+				}
+				return true
+			})
+			eadj[i] = s
+		}
+	}
+	return ew, eadj
+}
+
+// TestTwinReductionExact: expanding every vertex into a twin chain must
+// not change the optimum (only the heaviest twin of a class can be
+// chosen), and must stay fast — this is the regression test for the
+// npr-fine × m=64 campaign blow-up.
+func TestTwinReductionExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		w, adj := randomInstance(rng, 8)
+		ew, eadj := twinExpand(w, adj, 5)
+		for k := 1; k <= 6; k++ {
+			want := bruteKSet(w, adj, k)
+			got, set := MaxWeightKSet(ew, eadj, k)
+			if want < 0 {
+				if set != nil {
+					t.Fatalf("trial %d k=%d: expanded instance found a set where none exists", trial, k)
+				}
+				continue
+			}
+			if got != want {
+				t.Fatalf("trial %d k=%d: expanded optimum %d, want %d", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestTwinHeavyLargeInstanceFast: a 960-vertex twin-heavy instance at
+// large k must solve essentially instantly (pre-reduction this class of
+// input hung for minutes).
+func TestTwinHeavyLargeInstanceFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	w, adj := randomInstance(rng, 32)
+	ew, eadj := twinExpand(w, adj, 30)
+	start := time.Now()
+	for k := 1; k <= 16; k++ {
+		MaxWeightKSet(ew, eadj, k)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("twin-heavy instance took %v; reduction regressed", d)
 	}
 }

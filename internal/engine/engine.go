@@ -49,6 +49,10 @@ const (
 	JobAnalyze JobKind = iota
 	JobSimulate
 	JobGenerate
+	// JobSweep is one experiment-sweep point (generation plus the
+	// per-method analyses of all its task sets), submitted by the
+	// campaign orchestrator in internal/experiments.
+	JobSweep
 	numJobKinds
 )
 
@@ -60,6 +64,8 @@ func (k JobKind) String() string {
 		return "simulate"
 	case JobGenerate:
 		return "generate"
+	case JobSweep:
+		return "sweep"
 	}
 	return fmt.Sprintf("JobKind(%d)", int(k))
 }
@@ -150,12 +156,15 @@ type Stats struct {
 	Analyses    uint64      `json:"analyses"`
 	Simulations uint64      `json:"simulations"`
 	Generations uint64      `json:"generations"`
+	Sweeps      uint64      `json:"sweeps"`
 	Failed      uint64      `json:"failed"`
 	Cache       cache.Stats `json:"cache"`
 }
 
 // JobsServed returns the total completed jobs of all kinds.
-func (s Stats) JobsServed() uint64 { return s.Analyses + s.Simulations + s.Generations }
+func (s Stats) JobsServed() uint64 {
+	return s.Analyses + s.Simulations + s.Generations + s.Sweeps
+}
 
 // Stats snapshots the counters.
 func (e *Engine) Stats() Stats {
@@ -166,6 +175,7 @@ func (e *Engine) Stats() Stats {
 		Analyses:    atomic.LoadUint64(&e.served[JobAnalyze]),
 		Simulations: atomic.LoadUint64(&e.served[JobSimulate]),
 		Generations: atomic.LoadUint64(&e.served[JobGenerate]),
+		Sweeps:      atomic.LoadUint64(&e.served[JobSweep]),
 		Failed:      atomic.LoadUint64(&e.failed),
 	}
 	if e.memo != nil {
@@ -220,6 +230,19 @@ func (e *Engine) submit(ctx context.Context, kind JobKind, fn func() (any, error
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// Submit runs fn as a pooled job of the given kind and returns its
+// result: the exported generic entry point for callers that orchestrate
+// their own work units over the engine's worker pool (the experiment
+// orchestrator submits one JobSweep per sweep point). fn MUST NOT submit
+// further jobs to the same engine — a job waiting on a nested job can
+// deadlock the pool once every worker does it.
+func (e *Engine) Submit(ctx context.Context, kind JobKind, fn func() (any, error)) (any, error) {
+	if kind < 0 || kind >= numJobKinds {
+		return nil, fmt.Errorf("engine: unknown job kind %d", int(kind))
+	}
+	return e.submit(ctx, kind, fn)
 }
 
 // AnalyzeSpec selects the analysis parameters of one request.

@@ -134,8 +134,10 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// parseMethod maps the wire spelling to a core.Method ("" = LP-ILP).
-func parseMethod(s string) (core.Method, error) {
+// ParseMethod maps the API wire spelling to a core.Method ("" =
+// LP-ILP). Shared by every HTTP surface speaking the /v1/ dialect
+// (including the campaign endpoint in internal/experiments).
+func ParseMethod(s string) (core.Method, error) {
 	switch s {
 	case "", "lp-ilp":
 		return core.LPILP, nil
@@ -147,9 +149,9 @@ func parseMethod(s string) (core.Method, error) {
 	return 0, fmt.Errorf("unknown method %q (want fp-ideal | lp-ilp | lp-max)", s)
 }
 
-// parseBackend maps the wire spelling to a core.Backend ("" =
+// ParseBackend maps the API wire spelling to a core.Backend ("" =
 // combinatorial).
-func parseBackend(s string) (core.Backend, error) {
+func ParseBackend(s string) (core.Backend, error) {
 	switch s {
 	case "", "combinatorial":
 		return core.Combinatorial, nil
@@ -258,11 +260,11 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			backendStr = *item.Backend
 		}
 		var err error
-		if spec.Method, err = parseMethod(methodStr); err != nil {
+		if spec.Method, err = ParseMethod(methodStr); err != nil {
 			results[i].Error = err.Error()
 			continue
 		}
-		if spec.Backend, err = parseBackend(backendStr); err != nil {
+		if spec.Backend, err = ParseBackend(backendStr); err != nil {
 			results[i].Error = err.Error()
 			continue
 		}

@@ -1,0 +1,493 @@
+package experiments
+
+// The parallel sharded campaign orchestrator: sweeps a grid of
+// (scenario, cores, utilization) points over the engine worker pool.
+//
+// A campaign is split into deterministic shards — stripes of the point
+// grid — and each shard submits its points as engine jobs, so the
+// concurrency is the engine's worker count while every analysis of a
+// campaign shares one content-addressed blocking-term cache. Each task
+// set's RNG seed derives from (campaign seed, point index, set index)
+// alone (see seed.go), so campaign output is bit-identical regardless of
+// shard count and worker count; the streaming emitter reorders finished
+// points back into index order before writing, which keeps the JSONL and
+// CSV streams byte-stable too.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/cache"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/ppp"
+)
+
+// Scenario is one task-population family of a campaign: the generator
+// knobs plus optional preemption-point transforms. The zero value is the
+// paper's mixed population.
+type Scenario struct {
+	// Name labels the family in results ("mixed", "wide", …). Must be
+	// non-empty and match [A-Za-z0-9._-]+ so the CSV stream stays
+	// delimiter-free.
+	Name string `json:"name"`
+	// Group selects the base population (Section VI-A).
+	Group gen.Group `json:"group"`
+	// Shape overrides the DAG structure (gen.ShapeWide / gen.ShapeDeep).
+	Shape gen.Shape `json:"shape,omitempty"`
+	// Beta / UMax bound the per-task utilization draw (0 = paper
+	// defaults 0.5 / 1). Heavy mixes push Beta up; light mixes pull
+	// UMax down.
+	Beta float64 `json:"beta,omitempty"`
+	UMax float64 `json:"umax,omitempty"`
+	// SeqProb overrides the mixed population's sequential-task
+	// probability (0 = default 0.5).
+	SeqProb float64 `json:"seqprob,omitempty"`
+	// NPRSplit, when > 0, caps every NPR at this length by splitting
+	// long nodes (ppp.SplitNodes) after generation: the fine-grained
+	// end of the preemption-point granularity sweep.
+	NPRSplit int64 `json:"npr_split,omitempty"`
+	// NPRCoarsen, when > 0, merges linear runs up to this length
+	// (ppp.CoarsenChains): the coarse-grained end.
+	NPRCoarsen int64 `json:"npr_coarsen,omitempty"`
+	// Tasks fixes the set size (0 = add tasks until the target
+	// utilization is reached).
+	Tasks int `json:"tasks,omitempty"`
+	// DAG overrides the fork-join expansion parameters (nil = the
+	// paper's Section VI-A values, adjusted by Shape presets).
+	DAG *gen.DAGParams `json:"dag,omitempty"`
+}
+
+// Params resolves the scenario to generator parameters.
+func (s Scenario) Params() gen.Params {
+	p := gen.PaperParams(s.Group)
+	if s.DAG != nil {
+		p.DAG = *s.DAG
+	}
+	p.Shape = s.Shape
+	if s.Beta > 0 {
+		p.Beta = s.Beta
+	}
+	if s.UMax > 0 {
+		p.UMax = s.UMax
+	}
+	if s.SeqProb > 0 {
+		p.SeqProb = s.SeqProb
+	}
+	return p
+}
+
+// TaskSet generates the scenario's task set for one seed and target
+// utilization, applying the preemption-point transforms when configured.
+func (s Scenario) TaskSet(seed int64, targetU float64) *model.TaskSet {
+	g := gen.New(seed, s.Params())
+	var ts *model.TaskSet
+	if s.Tasks > 0 {
+		ts = g.TaskSetN(s.Tasks, targetU)
+	} else {
+		ts = g.TaskSet(targetU)
+	}
+	if s.NPRSplit > 0 || s.NPRCoarsen > 0 {
+		tasks := make([]*model.Task, len(ts.Tasks))
+		for i, t := range ts.Tasks {
+			graph := t.G
+			if s.NPRSplit > 0 {
+				graph = ppp.SplitNodes(graph, s.NPRSplit)
+			}
+			if s.NPRCoarsen > 0 {
+				graph = ppp.CoarsenChains(graph, s.NPRCoarsen)
+			}
+			tasks[i] = &model.Task{Name: t.Name, G: graph, Deadline: t.Deadline, Period: t.Period}
+		}
+		ts = &model.TaskSet{Tasks: tasks}
+	}
+	return ts
+}
+
+// validName reports whether a scenario name is safe for the CSV stream.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// StandardScenarios is the named scenario registry: the paper's two
+// populations plus the extended families of this reproduction.
+func StandardScenarios() []Scenario {
+	return []Scenario{
+		{Name: "mixed", Group: gen.GroupMixed},
+		{Name: "parallel", Group: gen.GroupParallel},
+		{Name: "heavy", Group: gen.GroupMixed, Beta: 0.7},
+		{Name: "light", Group: gen.GroupMixed, Beta: 0.05, UMax: 0.3},
+		{Name: "wide", Group: gen.GroupParallel, Shape: gen.ShapeWide,
+			DAG: &gen.DAGParams{PTerm: 0.4, PPar: 0.6, NPar: 12, MaxNodes: 40, MaxPathLen: 5, CMin: 1, CMax: 100}},
+		{Name: "deep", Group: gen.GroupMixed, Shape: gen.ShapeDeep,
+			DAG: &gen.DAGParams{PTerm: 0.4, PPar: 0.6, NPar: 2, MaxNodes: 40, MaxPathLen: 15, CMin: 1, CMax: 100}},
+		{Name: "npr-fine", Group: gen.GroupMixed, NPRSplit: 10},
+		{Name: "npr-coarse", Group: gen.GroupMixed, NPRCoarsen: 200},
+	}
+}
+
+// ScenarioByName resolves a registry name.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range StandardScenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("experiments: unknown scenario %q", name)
+}
+
+// CampaignConfig describes a full sweep campaign: the cartesian grid
+// Scenarios × Ms × UFracs, with SetsPerPoint task sets per point.
+type CampaignConfig struct {
+	Seed         int64
+	Ms           []int     // core counts (default 4, 8, 16)
+	UFracs       []float64 // target utilization as a fraction of m (default 0.1..0.9)
+	SetsPerPoint int       // task sets per grid point (default 25)
+	Scenarios    []Scenario
+	Methods      []core.Method // analysis methods (default all three)
+	Backend      core.Backend
+	// Workers sizes the engine the campaign creates when RunOptions
+	// does not supply one (0 = GOMAXPROCS).
+	Workers int
+	// Shards is the number of work stripes the point grid is cut into
+	// (0 = 4× workers, capped at the point count). Sharding never
+	// affects results, only load balance.
+	Shards int
+}
+
+// normalized fills defaults and validates; it returns a copy.
+func (c CampaignConfig) normalized() (CampaignConfig, error) {
+	if len(c.Ms) == 0 {
+		c.Ms = []int{4, 8, 16}
+	}
+	for _, m := range c.Ms {
+		if m < 1 {
+			return c, fmt.Errorf("experiments: core count %d < 1", m)
+		}
+	}
+	if len(c.UFracs) == 0 {
+		c.UFracs = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	for _, f := range c.UFracs {
+		if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return c, fmt.Errorf("experiments: utilization fraction %v not positive finite", f)
+		}
+	}
+	if c.SetsPerPoint < 1 {
+		c.SetsPerPoint = 25
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = []Scenario{{Name: "mixed", Group: gen.GroupMixed}}
+	}
+	for _, s := range c.Scenarios {
+		if !validName(s.Name) {
+			return c, fmt.Errorf("experiments: scenario name %q invalid (want [A-Za-z0-9._-]+)", s.Name)
+		}
+	}
+	if len(c.Methods) == 0 {
+		c.Methods = core.Methods()
+	}
+	return c, nil
+}
+
+// Point is one grid point of a campaign.
+type Point struct {
+	Index    int
+	Scenario Scenario
+	M        int
+	U        float64 // absolute target utilization (frac · m)
+}
+
+// Points enumerates the campaign grid in deterministic index order:
+// scenarios outermost, then core counts, then utilization fractions.
+func (c CampaignConfig) Points() ([]Point, error) {
+	cfg, err := c.normalized()
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]Point, 0, len(cfg.Scenarios)*len(cfg.Ms)*len(cfg.UFracs))
+	for _, sc := range cfg.Scenarios {
+		for _, m := range cfg.Ms {
+			for _, f := range cfg.UFracs {
+				u := math.Round(f*float64(m)*1e6) / 1e6
+				pts = append(pts, Point{Index: len(pts), Scenario: sc, M: m, U: u})
+			}
+		}
+	}
+	return pts, nil
+}
+
+// PlanShards partitions the point indices 0..points-1 into at most
+// shards stripes: shard s holds indices s, s+S, s+2S, … Striping
+// interleaves the cheap low-utilization points with the expensive
+// high-utilization ones, so shards are naturally load-balanced. The
+// result is always a partition: every index appears in exactly one
+// shard, and empty shards are dropped.
+func PlanShards(points, shards int) [][]int {
+	if points <= 0 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > points {
+		shards = points
+	}
+	out := make([][]int, shards)
+	for s := range out {
+		for i := s; i < points; i += shards {
+			out[s] = append(out[s], i)
+		}
+	}
+	return out
+}
+
+// PointResult is the outcome at one grid point: the schedulable count
+// per method over the point's task sets. All fields are deterministic in
+// (campaign config, campaign seed) — wall-clock measurements live in the
+// progress stream, never here, so result streams are byte-stable.
+type PointResult struct {
+	Index    int            `json:"index"`
+	Scenario string         `json:"scenario"`
+	M        int            `json:"m"`
+	U        float64        `json:"u"`
+	Sets     int            `json:"sets"`
+	Sched    map[string]int `json:"sched"`
+}
+
+// Pct returns a method's schedulable percentage.
+func (r PointResult) Pct(method string) float64 {
+	if r.Sets == 0 {
+		return 0
+	}
+	return 100 * float64(r.Sched[method]) / float64(r.Sets)
+}
+
+// Progress reports incremental campaign completion (points done, not
+// byte output): Done is monotone, ETA a linear extrapolation.
+type Progress struct {
+	Done    int
+	Total   int
+	Elapsed time.Duration
+	ETA     time.Duration
+}
+
+// RunOptions control campaign execution and streaming.
+type RunOptions struct {
+	// Context cancels the campaign (nil = background).
+	Context context.Context
+	// Engine runs the point jobs; when nil the campaign starts its own
+	// with CampaignConfig.Workers workers and closes it on return. The
+	// engine's cache is the campaign-wide blocking-term memo.
+	Engine *engine.Engine
+	// JSONL, when non-nil, receives one compact JSON PointResult per
+	// line, in point-index order, as points complete.
+	JSONL io.Writer
+	// CSV, when non-nil, receives the header and one row per point, in
+	// point-index order, as points complete.
+	CSV io.Writer
+	// OnProgress, when non-nil, is called after every completed point.
+	OnProgress func(Progress)
+	// Completed carries results of a previous (partial) run of the SAME
+	// campaign, e.g. re-read from its JSONL stream with
+	// ReadCampaignJSONL: points whose index appears here are emitted
+	// verbatim instead of recomputed, which is the resume mechanism.
+	// Because every point is deterministic in (seed, index), the
+	// resumed output is byte-identical to an uninterrupted run.
+	Completed []PointResult
+}
+
+// RunCampaign executes the campaign and returns the per-point results in
+// index order. Results stream to the writers incrementally; the returned
+// slice is the same data (campaign grids are small — memory pressure is
+// in the per-set analyses, which are never accumulated).
+func RunCampaign(cfg CampaignConfig, opts RunOptions) ([]PointResult, error) {
+	ncfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	points, err := ncfg.Points()
+	if err != nil {
+		return nil, err
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	eng := opts.Engine
+	if eng == nil {
+		eng = engine.New(engine.Config{Workers: ncfg.Workers})
+		defer eng.Close()
+	}
+	memo := eng.Cache()
+
+	results := make([]PointResult, len(points))
+	ready := make([]bool, len(points))
+	for _, pr := range opts.Completed {
+		// A carried-over result must describe a point of THIS grid —
+		// resuming with a different campaign's file would otherwise
+		// silently emit stale foreign points as this campaign's output.
+		if pr.Index < 0 || pr.Index >= len(points) {
+			return nil, fmt.Errorf("experiments: resume: point index %d outside this campaign's grid (%d points)", pr.Index, len(points))
+		}
+		pt := points[pr.Index]
+		if pr.Scenario != pt.Scenario.Name || pr.M != pt.M || pr.U != pt.U || pr.Sets != ncfg.SetsPerPoint {
+			return nil, fmt.Errorf("experiments: resume: point %d is (%s, m=%d, u=%v, sets=%d) in the carried file but (%s, m=%d, u=%v, sets=%d) in this campaign — wrong file or changed config",
+				pr.Index, pr.Scenario, pr.M, pr.U, pr.Sets, pt.Scenario.Name, pt.M, pt.U, ncfg.SetsPerPoint)
+		}
+		if !ready[pr.Index] {
+			results[pr.Index] = pr
+			ready[pr.Index] = true
+		}
+	}
+	var remaining []int
+	for i := range points {
+		if !ready[i] {
+			remaining = append(remaining, i)
+		}
+	}
+
+	shardCount := ncfg.Shards
+	if shardCount <= 0 {
+		shardCount = 4 * eng.Workers()
+	}
+	type pointDone struct {
+		idx int
+		res PointResult
+		err error
+	}
+	done := make(chan pointDone)
+	for _, shard := range PlanShards(len(remaining), shardCount) {
+		go func(positions []int) {
+			for _, p := range positions {
+				i := remaining[p]
+				pt := points[i]
+				v, err := eng.Submit(ctx, engine.JobSweep, func() (any, error) {
+					return runCampaignPoint(ncfg, pt, memo)
+				})
+				d := pointDone{idx: i, err: err}
+				if err == nil {
+					d.res = v.(PointResult)
+				}
+				done <- d
+			}
+		}(shard)
+	}
+
+	var (
+		next     = 0
+		firstErr error
+		start    = time.Now()
+		csvOnce  = false
+		names    = methodNames(ncfg.Methods)
+	)
+	emitFrontier := func() {
+		for next < len(points) && ready[next] {
+			if opts.JSONL != nil && firstErr == nil {
+				if err := WritePointResult(opts.JSONL, results[next]); err != nil {
+					firstErr = err
+				}
+			}
+			if opts.CSV != nil && firstErr == nil {
+				if !csvOnce {
+					if _, err := io.WriteString(opts.CSV, campaignCSVHeaderNames(names)); err != nil {
+						firstErr = err
+					}
+					csvOnce = true
+				}
+				if firstErr == nil {
+					if _, err := io.WriteString(opts.CSV, campaignCSVRowNames(results[next], names)); err != nil {
+						firstErr = err
+					}
+				}
+			}
+			next++
+		}
+	}
+	emitFrontier() // resumed prefix, if any
+	doneBase := len(points) - len(remaining)
+	for completed := 0; completed < len(remaining); completed++ {
+		d := <-done
+		if d.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiments: point %d: %w", d.idx, d.err)
+			}
+			continue
+		}
+		results[d.idx] = d.res
+		ready[d.idx] = true
+		emitFrontier()
+		if opts.OnProgress != nil {
+			elapsed := time.Since(start)
+			p := Progress{Done: doneBase + completed + 1, Total: len(points), Elapsed: elapsed}
+			if rem := p.Total - p.Done; rem > 0 && completed+1 > 0 {
+				p.ETA = time.Duration(float64(elapsed) / float64(completed+1) * float64(rem))
+			}
+			opts.OnProgress(p)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// runCampaignPoint generates and analyzes the task sets of one grid
+// point. It runs inside an engine worker, so the analyses execute inline
+// (submitting nested jobs from a job would deadlock the pool) against
+// the campaign-shared cache.
+func runCampaignPoint(cfg CampaignConfig, pt Point, memo *cache.Cache) (PointResult, error) {
+	res := PointResult{
+		Index:    pt.Index,
+		Scenario: pt.Scenario.Name,
+		M:        pt.M,
+		U:        pt.U,
+		Sets:     cfg.SetsPerPoint,
+		Sched:    make(map[string]int, len(cfg.Methods)),
+	}
+	for _, method := range cfg.Methods {
+		res.Sched[method.String()] = 0 // stable key set even at zero
+	}
+	for si := 0; si < cfg.SetsPerPoint; si++ {
+		ts := pt.Scenario.TaskSet(SeedFor(cfg.Seed, pt.Index, si), pt.U)
+		for _, method := range cfg.Methods {
+			a, err := core.New(core.Options{Cores: pt.M, Method: method, Backend: cfg.Backend, Cache: memo})
+			if err != nil {
+				return res, err
+			}
+			ok, err := a.Schedulable(ts)
+			if err != nil {
+				return res, fmt.Errorf("point %d set %d method %v: %w", pt.Index, si, method, err)
+			}
+			if ok {
+				res.Sched[method.String()]++
+			}
+		}
+	}
+	return res, nil
+}
+
+// methodNames renders a method list for CSV headers.
+func methodNames(methods []core.Method) []string {
+	out := make([]string, len(methods))
+	for i, m := range methods {
+		out[i] = m.String()
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package experiments
+
+// HTTP front end of the campaign orchestrator, mounted by
+// cmd/lpdag-serve next to the engine's /v1/ endpoints (it lives here
+// rather than in internal/engine because the orchestrator builds on the
+// engine — the import only points one way).
+//
+//	POST /v1/campaign   run a sweep campaign, streaming one JSON
+//	                    PointResult per line (application/x-ndjson)
+//
+// The response is a plain campaign JSONL stream (ReadCampaignJSONL
+// parses it back); if the run fails after streaming began, a final
+// {"error": ...} line is appended, which JSONL readers reject — the
+// stream is only complete if every line parses.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Campaign API limits: the HTTP boundary is where untrusted sizes
+// arrive, and one campaign fans out points × sets × methods analyses.
+const (
+	MaxCampaignBodyBytes = 1 << 20 // 1 MiB of JSON config is plenty
+	MaxCampaignPoints    = 2048
+	MaxCampaignSets      = 200
+	MaxCampaignCores     = 64
+	MaxCampaignAnalyses  = 250_000
+)
+
+// campaignRequest is the /v1/campaign body. Scenarios are registry
+// names (StandardScenarios); methods use the wire spellings of the
+// analyze endpoint ("fp-ideal" | "lp-ilp" | "lp-max").
+type campaignRequest struct {
+	Seed         int64     `json:"seed"`
+	Ms           []int     `json:"ms,omitempty"`
+	UFracs       []float64 `json:"u_fracs,omitempty"`
+	SetsPerPoint int       `json:"sets_per_point,omitempty"`
+	Scenarios    []string  `json:"scenarios,omitempty"`
+	Methods      []string  `json:"methods,omitempty"`
+	Backend      string    `json:"backend,omitempty"`
+	Shards       int       `json:"shards,omitempty"`
+}
+
+// CampaignHandler serves POST /v1/campaign on the given engine.
+func CampaignHandler(eng *engine.Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, MaxCampaignBodyBytes)
+		var req campaignRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "invalid request: %v", err)
+			return
+		}
+		cfg, err := campaignConfigFromRequest(req)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		points, err := cfg.Points()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if len(points) > MaxCampaignPoints {
+			httpError(w, http.StatusBadRequest, "%d grid points exceed limit %d", len(points), MaxCampaignPoints)
+			return
+		}
+		nm := len(cfg.Methods)
+		if nm == 0 {
+			nm = len(core.Methods())
+		}
+		if analyses := len(points) * cfg.SetsPerPoint * nm; analyses > MaxCampaignAnalyses {
+			httpError(w, http.StatusBadRequest, "%d analyses exceed limit %d", analyses, MaxCampaignAnalyses)
+			return
+		}
+
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		out := &flushLineWriter{w: w}
+		if _, err := RunCampaign(cfg, RunOptions{
+			Context: r.Context(),
+			Engine:  eng,
+			JSONL:   out,
+		}); err != nil {
+			// Too late for a status code; emit a terminal error line.
+			data, _ := json.Marshal(map[string]string{"error": err.Error()})
+			w.Write(append(data, '\n'))
+		}
+	})
+}
+
+// campaignConfigFromRequest validates and resolves the wire form.
+func campaignConfigFromRequest(req campaignRequest) (CampaignConfig, error) {
+	cfg := CampaignConfig{
+		Seed:         req.Seed,
+		Ms:           req.Ms,
+		UFracs:       req.UFracs,
+		SetsPerPoint: req.SetsPerPoint,
+		Shards:       req.Shards,
+	}
+	for _, m := range req.Ms {
+		if m < 1 || m > MaxCampaignCores {
+			return cfg, fmt.Errorf("core count %d outside [1, %d]", m, MaxCampaignCores)
+		}
+	}
+	if cfg.SetsPerPoint > MaxCampaignSets {
+		return cfg, fmt.Errorf("sets_per_point %d exceeds limit %d", cfg.SetsPerPoint, MaxCampaignSets)
+	}
+	for _, name := range req.Scenarios {
+		sc, err := ScenarioByName(name)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Scenarios = append(cfg.Scenarios, sc)
+	}
+	for _, ms := range req.Methods {
+		m, err := engine.ParseMethod(ms)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Methods = append(cfg.Methods, m)
+	}
+	var err error
+	if cfg.Backend, err = engine.ParseBackend(req.Backend); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// flushLineWriter flushes the HTTP response after every write, so the
+// ndjson stream reaches clients point by point.
+type flushLineWriter struct {
+	w http.ResponseWriter
+}
+
+func (f *flushLineWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if fl, ok := f.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return n, err
+}

@@ -1,0 +1,113 @@
+package experiments
+
+// Property-based tests (testing/quick) for the shard planner and the
+// orchestrator determinism contract.
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+// TestPlanShardsIsPartition: for arbitrary (points, shards), PlanShards
+// yields a partition of 0..points-1 — every index in exactly one shard,
+// no shard empty, shard count ≤ min(shards, points).
+func TestPlanShardsIsPartition(t *testing.T) {
+	f := func(pointsRaw uint16, shardsRaw int8) bool {
+		points := int(pointsRaw % 600)
+		shards := int(shardsRaw) // may be negative or zero: planner clamps
+		plan := PlanShards(points, shards)
+		if points == 0 {
+			return plan == nil
+		}
+		wantShards := shards
+		if wantShards < 1 {
+			wantShards = 1
+		}
+		if wantShards > points {
+			wantShards = points
+		}
+		if len(plan) != wantShards {
+			return false
+		}
+		seen := make([]int, points)
+		for _, shard := range plan {
+			if len(shard) == 0 {
+				return false
+			}
+			for _, idx := range shard {
+				if idx < 0 || idx >= points {
+					return false
+				}
+				seen[idx]++
+			}
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanShardsBalanced: stripe sizes differ by at most one.
+func TestPlanShardsBalanced(t *testing.T) {
+	f := func(pointsRaw uint16, shardsRaw uint8) bool {
+		points := int(pointsRaw%600) + 1
+		shards := int(shardsRaw%32) + 1
+		plan := PlanShards(points, shards)
+		min, max := points, 0
+		for _, shard := range plan {
+			if len(shard) < min {
+				min = len(shard)
+			}
+			if len(shard) > max {
+				max = len(shard)
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCampaignIndependentOfShardAndWorkerCount is the orchestrator's
+// core property under random execution geometry: for random (seed,
+// shards, workers) the JSONL bytes equal the serial reference run.
+func TestCampaignIndependentOfShardAndWorkerCount(t *testing.T) {
+	base := CampaignConfig{
+		Ms:           []int{2},
+		UFracs:       []float64{0.4, 0.8},
+		SetsPerPoint: 2,
+		Scenarios:    []Scenario{{Name: "mixed", Group: gen.GroupMixed}},
+	}
+	f := func(seed int64, shardsRaw, workersRaw uint8) bool {
+		cfg := base
+		cfg.Seed = seed
+		cfg.Workers = 1
+		cfg.Shards = 1
+		var ref strings.Builder
+		if _, err := RunCampaign(cfg, RunOptions{JSONL: &ref}); err != nil {
+			t.Log(err)
+			return false
+		}
+		cfg.Shards = int(shardsRaw%7) + 1
+		cfg.Workers = int(workersRaw%5) + 1
+		var got strings.Builder
+		if _, err := RunCampaign(cfg, RunOptions{JSONL: &got}); err != nil {
+			t.Log(err)
+			return false
+		}
+		return got.String() == ref.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gen"
+)
+
+// tinyCampaign is a campaign small enough for unit tests but with a
+// multi-scenario, multi-m grid.
+func tinyCampaign() CampaignConfig {
+	return CampaignConfig{
+		Seed:         2016,
+		Ms:           []int{2, 4},
+		UFracs:       []float64{0.3, 0.6},
+		SetsPerPoint: 3,
+		Scenarios: []Scenario{
+			{Name: "mixed", Group: gen.GroupMixed},
+			{Name: "wide", Group: gen.GroupParallel, Shape: gen.ShapeWide},
+		},
+		Workers: 2,
+	}
+}
+
+func TestCampaignPointsGrid(t *testing.T) {
+	pts, err := tinyCampaign().Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*2*2 {
+		t.Fatalf("grid size %d, want 8", len(pts))
+	}
+	for i, p := range pts {
+		if p.Index != i {
+			t.Fatalf("point %d has index %d", i, p.Index)
+		}
+	}
+	// Scenarios outermost, then m, then u.
+	if pts[0].Scenario.Name != "mixed" || pts[4].Scenario.Name != "wide" {
+		t.Error("scenario enumeration order wrong")
+	}
+	if pts[0].M != 2 || pts[2].M != 4 {
+		t.Error("core-count enumeration order wrong")
+	}
+	if pts[0].U != 0.6 || pts[1].U != 1.2 {
+		t.Errorf("utilization grid wrong: %v, %v", pts[0].U, pts[1].U)
+	}
+}
+
+func TestCampaignRejectsBadConfig(t *testing.T) {
+	bad := tinyCampaign()
+	bad.Scenarios[0].Name = "has,comma"
+	if _, err := RunCampaign(bad, RunOptions{}); err == nil {
+		t.Error("comma scenario name accepted")
+	}
+	bad2 := tinyCampaign()
+	bad2.Ms = []int{0}
+	if _, err := RunCampaign(bad2, RunOptions{}); err == nil {
+		t.Error("zero core count accepted")
+	}
+	bad3 := tinyCampaign()
+	bad3.UFracs = []float64{-1}
+	if _, err := RunCampaign(bad3, RunOptions{}); err == nil {
+		t.Error("negative utilization fraction accepted")
+	}
+}
+
+func TestRunCampaignStreamsAndResults(t *testing.T) {
+	var jsonl, csv strings.Builder
+	var progress []Progress
+	results, err := RunCampaign(tinyCampaign(), RunOptions{
+		JSONL:      &jsonl,
+		CSV:        &csv,
+		OnProgress: func(p Progress) { progress = append(progress, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("%d results, want 8", len(results))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+		if r.Sets != 3 {
+			t.Fatalf("result %d: sets %d, want 3", i, r.Sets)
+		}
+		if len(r.Sched) != 3 {
+			t.Fatalf("result %d: %d method entries, want 3", i, len(r.Sched))
+		}
+		for m, c := range r.Sched {
+			if c < 0 || c > r.Sets {
+				t.Fatalf("result %d: count %s=%d outside [0,%d]", i, m, c, r.Sets)
+			}
+		}
+		// Method dominance must hold pointwise on identical sets.
+		if r.Sched[core.LPILP.String()] > r.Sched[core.FPIdeal.String()] ||
+			r.Sched[core.LPMax.String()] > r.Sched[core.LPILP.String()] {
+			t.Fatalf("result %d: method ordering violated: %+v", i, r.Sched)
+		}
+	}
+
+	// The JSONL stream decodes back to exactly the returned results.
+	decoded, err := ReadCampaignJSONL(strings.NewReader(jsonl.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(results) {
+		t.Fatalf("jsonl has %d results, want %d", len(decoded), len(results))
+	}
+	for i := range decoded {
+		if decoded[i].Index != results[i].Index || decoded[i].U != results[i].U ||
+			decoded[i].Scenario != results[i].Scenario {
+			t.Fatalf("jsonl result %d differs: %+v vs %+v", i, decoded[i], results[i])
+		}
+		for m, c := range results[i].Sched {
+			if decoded[i].Sched[m] != c {
+				t.Fatalf("jsonl result %d method %s: %d vs %d", i, m, decoded[i].Sched[m], c)
+			}
+		}
+	}
+
+	// The CSV stream parses back too.
+	rows, methods, err := ParseCampaignCSV(csv.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(results) || len(methods) != 3 {
+		t.Fatalf("csv: %d rows, %d methods", len(rows), len(methods))
+	}
+
+	// Progress is monotone and complete.
+	if len(progress) != 8 {
+		t.Fatalf("%d progress callbacks, want 8", len(progress))
+	}
+	for i, p := range progress {
+		if p.Done != i+1 || p.Total != 8 {
+			t.Fatalf("progress %d: %+v", i, p)
+		}
+	}
+}
+
+// TestCampaignByteIdenticalAcrossWorkersAndShards is the core
+// determinism contract: same campaign seed ⇒ byte-identical JSONL and
+// CSV regardless of worker count and shard count.
+func TestCampaignByteIdenticalAcrossWorkersAndShards(t *testing.T) {
+	type variant struct{ workers, shards int }
+	variants := []variant{{1, 1}, {1, 5}, {4, 1}, {4, 3}, {8, 16}}
+	var refJSONL, refCSV string
+	for i, v := range variants {
+		cfg := tinyCampaign()
+		cfg.Workers = v.workers
+		cfg.Shards = v.shards
+		var jsonl, csv strings.Builder
+		if _, err := RunCampaign(cfg, RunOptions{JSONL: &jsonl, CSV: &csv}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			refJSONL, refCSV = jsonl.String(), csv.String()
+			continue
+		}
+		if jsonl.String() != refJSONL {
+			t.Fatalf("workers=%d shards=%d: JSONL differs from workers=1 shards=1", v.workers, v.shards)
+		}
+		if csv.String() != refCSV {
+			t.Fatalf("workers=%d shards=%d: CSV differs from workers=1 shards=1", v.workers, v.shards)
+		}
+	}
+}
+
+// TestCampaignResume: feeding a prefix of a previous run's JSONL back as
+// Completed skips recomputation and still emits byte-identical output.
+func TestCampaignResume(t *testing.T) {
+	cfg := tinyCampaign()
+	var full strings.Builder
+	if _, err := RunCampaign(cfg, RunOptions{JSONL: &full}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(full.String(), "\n")
+	partial := strings.Join(lines[:5], "") // first 5 points "already done"
+	prior, err := ReadCampaignJSONL(strings.NewReader(partial))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := engine.New(engine.Config{Workers: 2})
+	defer eng.Close()
+	var resumed strings.Builder
+	if _, err := RunCampaign(cfg, RunOptions{JSONL: &resumed, Engine: eng, Completed: prior}); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != full.String() {
+		t.Error("resumed campaign output differs from uninterrupted run")
+	}
+	if got := eng.Stats().Sweeps; got != uint64(8-len(prior)) {
+		t.Errorf("resume executed %d sweep jobs, want %d", got, 8-len(prior))
+	}
+}
+
+// TestCampaignResumeRejectsForeignFile: carrying another campaign's
+// results in must fail loudly, not silently emit stale points.
+func TestCampaignResumeRejectsForeignFile(t *testing.T) {
+	other := CampaignConfig{
+		Seed: 1, Ms: []int{8}, UFracs: []float64{0.9}, SetsPerPoint: 5,
+		Scenarios: []Scenario{{Name: "parallel", Group: gen.GroupParallel}},
+	}
+	var foreign strings.Builder
+	if _, err := RunCampaign(other, RunOptions{JSONL: &foreign}); err != nil {
+		t.Fatal(err)
+	}
+	prior, err := ReadCampaignJSONL(strings.NewReader(foreign.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCampaign(tinyCampaign(), RunOptions{Completed: prior}); err == nil {
+		t.Error("foreign resume file accepted")
+	} else if !strings.Contains(err.Error(), "wrong file or changed config") {
+		t.Errorf("unhelpful resume error: %v", err)
+	}
+	// Out-of-grid indices are rejected too.
+	if _, err := RunCampaign(tinyCampaign(), RunOptions{Completed: []PointResult{{Index: 99}}}); err == nil {
+		t.Error("out-of-grid resume index accepted")
+	}
+}
+
+func TestCampaignSharedEngineCache(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 2})
+	defer eng.Close()
+	cfg := tinyCampaign()
+	if _, err := RunCampaign(cfg, RunOptions{Engine: eng}); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Sweeps != 8 {
+		t.Errorf("%d sweep jobs, want 8", st.Sweeps)
+	}
+	// Three methods analyze each generated set back to back, so the
+	// campaign-shared cache must see hits.
+	if st.Cache.Hits == 0 {
+		t.Error("campaign-shared cache saw no hits")
+	}
+}
+
+func TestStandardScenarios(t *testing.T) {
+	for _, s := range StandardScenarios() {
+		if !validName(s.Name) {
+			t.Errorf("registry scenario %q has invalid name", s.Name)
+		}
+		got, err := ScenarioByName(s.Name)
+		if err != nil || got.Name != s.Name {
+			t.Errorf("ScenarioByName(%q) = %+v, %v", s.Name, got, err)
+		}
+		// Every scenario must generate valid task sets.
+		ts := s.TaskSet(99, 1.5)
+		if err := ts.Validate(); err != nil {
+			t.Errorf("scenario %q produced invalid set: %v", s.Name, err)
+		}
+	}
+	if _, err := ScenarioByName("bogus"); err == nil {
+		t.Error("unknown scenario name accepted")
+	}
+}
+
+func TestScenarioNPRTransforms(t *testing.T) {
+	fine := Scenario{Name: "npr-fine", Group: gen.GroupMixed, NPRSplit: 10}
+	ts := fine.TaskSet(7, 2.0)
+	for _, task := range ts.Tasks {
+		for v := 0; v < task.G.N(); v++ {
+			if c := task.G.WCET(v); c > 10 {
+				t.Fatalf("npr-fine left an NPR of length %d > 10", c)
+			}
+		}
+	}
+	// Volume and longest path are preserved by the transform, so the
+	// split set must equal the unsplit set in both.
+	plain := Scenario{Name: "mixed", Group: gen.GroupMixed}
+	base := plain.TaskSet(7, 2.0)
+	if len(base.Tasks) != len(ts.Tasks) {
+		t.Fatal("transform changed task count")
+	}
+	for i := range base.Tasks {
+		if base.Tasks[i].G.Volume() != ts.Tasks[i].G.Volume() {
+			t.Fatalf("task %d volume changed by split", i)
+		}
+		if base.Tasks[i].G.LongestPath() != ts.Tasks[i].G.LongestPath() {
+			t.Fatalf("task %d longest path changed by split", i)
+		}
+	}
+
+	coarse := Scenario{Name: "npr-coarse", Group: gen.GroupMixed, NPRCoarsen: 200}
+	cts := coarse.TaskSet(7, 2.0)
+	coarseNodes, baseNodes := 0, 0
+	for i := range base.Tasks {
+		baseNodes += base.Tasks[i].G.N()
+		coarseNodes += cts.Tasks[i].G.N()
+		if base.Tasks[i].G.Volume() != cts.Tasks[i].G.Volume() {
+			t.Fatalf("task %d volume changed by coarsening", i)
+		}
+	}
+	if coarseNodes > baseNodes {
+		t.Errorf("coarsening grew the node count: %d > %d", coarseNodes, baseNodes)
+	}
+}
+
+func TestPlanShardsEdgeCases(t *testing.T) {
+	if got := PlanShards(0, 4); got != nil {
+		t.Errorf("PlanShards(0,4) = %v, want nil", got)
+	}
+	if got := PlanShards(3, 0); len(got) != 1 || len(got[0]) != 3 {
+		t.Errorf("PlanShards(3,0) = %v, want one shard of 3", got)
+	}
+	if got := PlanShards(3, 10); len(got) != 3 {
+		t.Errorf("PlanShards(3,10) has %d shards, want 3", len(got))
+	}
+}
+
+func TestPointResultPct(t *testing.T) {
+	r := PointResult{Sets: 4, Sched: map[string]int{"LP-ILP": 3}}
+	if got := r.Pct("LP-ILP"); got != 75 {
+		t.Errorf("Pct = %v, want 75", got)
+	}
+	if got := (PointResult{}).Pct("LP-ILP"); got != 0 {
+		t.Errorf("empty Pct = %v, want 0", got)
+	}
+}

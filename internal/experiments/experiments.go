@@ -86,27 +86,35 @@ func Figure2(cfg Fig2Config) []CurvePoint {
 	memo := cache.New(0)
 	points := make([]CurvePoint, len(us))
 	for i, u := range us {
-		points[i] = runPoint(cfg, u, cfg.Seed+int64(i)*7919, memo)
+		points[i] = runPoint(cfg, u, i, memo)
 	}
 	return points
 }
 
+// fig2Set deterministically generates one task set of a Figure 2 sweep:
+// set `set` of grid point `point`. Each set has its own derived seed
+// (see SeedFor), so no two sets share generator state and growing any
+// dimension of the sweep — more sets, more points, more methods — never
+// perturbs the sets already generated.
+func fig2Set(cfg Fig2Config, point, set int, u float64) *model.TaskSet {
+	params := gen.PaperParams(cfg.Group)
+	if cfg.SeqProbOverride > 0 {
+		params.SeqProb = cfg.SeqProbOverride
+	}
+	return gen.New(SeedFor(cfg.Seed, point, set), params).TaskSet(u)
+}
+
 // runPoint generates SetsPerPoint task sets at utilization u and counts
 // the schedulable fraction per method.
-func runPoint(cfg Fig2Config, u float64, seed int64, memo *cache.Cache) CurvePoint {
+func runPoint(cfg Fig2Config, u float64, point int, memo *cache.Cache) CurvePoint {
 	n := cfg.SetsPerPoint
 	if n < 1 {
 		n = 1
 	}
 	// Generate deterministically up front; analyze concurrently.
-	params := gen.PaperParams(cfg.Group)
-	if cfg.SeqProbOverride > 0 {
-		params.SeqProb = cfg.SeqProbOverride
-	}
-	g := gen.New(seed, params)
 	sets := make([]*model.TaskSet, n)
 	for i := range sets {
-		sets[i] = g.TaskSet(u)
+		sets[i] = fig2Set(cfg, point, i, u)
 	}
 
 	workers := cfg.Workers
@@ -256,10 +264,9 @@ func TasksSweep(cfg TasksSweepConfig) []TasksSweepPoint {
 	memo := cache.New(0)
 	var out []TasksSweepPoint
 	for n := cfg.NStart; n <= cfg.NEnd; n++ {
-		g := gen.New(cfg.Seed+int64(n)*104729, gen.PaperParams(cfg.Group))
 		counts := make(map[core.Method]int, 3)
 		for i := 0; i < sets; i++ {
-			ts := g.TaskSetN(n, cfg.U)
+			ts := gen.New(SeedFor(cfg.Seed, n, i), gen.PaperParams(cfg.Group)).TaskSetN(n, cfg.U)
 			for _, method := range core.Methods() {
 				a := core.MustNew(core.Options{Cores: cfg.M, Method: method, Backend: cfg.Backend, Cache: memo})
 				ok, err := a.Schedulable(ts)
@@ -355,10 +362,10 @@ func Timing(cfg TimingConfig) []TimingResult {
 	}
 	out := make([]TimingResult, 0, len(cfg.Ms))
 	for _, m := range cfg.Ms {
-		g := gen.New(cfg.Seed+int64(m), gen.PaperParams(gen.GroupMixed))
 		sets := make([]*model.TaskSet, cfg.Sets)
 		for i := range sets {
-			sets[i] = g.TaskSet(cfg.UFrac * float64(m))
+			sets[i] = gen.New(SeedFor(cfg.Seed, m, i), gen.PaperParams(gen.GroupMixed)).
+				TaskSet(cfg.UFrac * float64(m))
 		}
 		a := core.MustNew(core.Options{Cores: m, Method: core.LPILP, Backend: cfg.Backend})
 		start := time.Now()
@@ -470,20 +477,15 @@ func Variants(cfg Fig2Config) []VariantPoint {
 	idx := 0
 	for u := cfg.UStart; u <= cfg.UEnd+1e-9; u += cfg.UStep {
 		uu := math.Round(u*1e6) / 1e6
-		seed := cfg.Seed + int64(idx)*7919
+		point := idx
 		idx++
-		params := gen.PaperParams(cfg.Group)
-		if cfg.SeqProbOverride > 0 {
-			params.SeqProb = cfg.SeqProbOverride
-		}
-		g := gen.New(seed, params)
 		n := cfg.SetsPerPoint
 		if n < 1 {
 			n = 1
 		}
 		var plain, refined, ablated int
 		for i := 0; i < n; i++ {
-			ts := g.TaskSet(uu)
+			ts := fig2Set(cfg, point, i, uu)
 			for vi, vcfg := range []rta.Config{
 				{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend, Cache: memo},
 				{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend, Cache: memo, FinalNPRRefinement: true},
@@ -552,11 +554,10 @@ func Pessimism(cfg PessimismConfig) PessimismResult {
 	if cfg.Sets < 1 {
 		cfg.Sets = 1
 	}
-	g := gen.New(cfg.Seed, gen.PaperParams(gen.GroupMixed))
 	a := core.MustNew(core.Options{Cores: cfg.M, Method: core.LPILP, Backend: cfg.Backend, Cache: cache.New(0)})
 	res := PessimismResult{Sets: cfg.Sets}
 	for i := 0; i < cfg.Sets; i++ {
-		ts := g.TaskSet(cfg.U)
+		ts := gen.New(SeedFor(cfg.Seed, 0, i), gen.PaperParams(gen.GroupMixed)).TaskSet(cfg.U)
 		ok, err := a.Schedulable(ts)
 		if err != nil {
 			panic(err) // generated sets are valid; unreachable

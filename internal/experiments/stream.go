@@ -1,0 +1,192 @@
+package experiments
+
+// Streaming result codecs: JSON-lines and CSV forms of PointResult.
+//
+// Both codecs are canonical after one decode/encode cycle: for any bytes
+// the reader accepts, encode(decode(x)) is a fixed point — re-decoding
+// and re-encoding it reproduces the same bytes. The fuzz targets in
+// fuzz_test.go enforce this, and the resumable-campaign workflow rests
+// on it (a campaign's JSONL prefix re-read from disk feeds
+// RunOptions.Completed verbatim).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePointResult writes one result as a compact JSON line.
+func WritePointResult(w io.Writer, r PointResult) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// CampaignJSONL renders results as one JSON object per line.
+func CampaignJSONL(results []PointResult) (string, error) {
+	var b strings.Builder
+	for _, r := range results {
+		if err := WritePointResult(&b, r); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}
+
+// ReadCampaignJSONL decodes a JSON-lines result stream. Blank lines are
+// permitted (and not round-tripped); any other malformed line is an
+// error. Sched counts must be non-negative and U finite, so every
+// accepted stream re-encodes canonically.
+func ReadCampaignJSONL(r io.Reader) ([]PointResult, error) {
+	var out []PointResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var pr PointResult
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		if err := dec.Decode(&pr); err != nil {
+			return nil, fmt.Errorf("experiments: jsonl line %d: %w", line, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("experiments: jsonl line %d: trailing data", line)
+		}
+		if math.IsNaN(pr.U) || math.IsInf(pr.U, 0) {
+			return nil, fmt.Errorf("experiments: jsonl line %d: non-finite u", line)
+		}
+		out = append(out, pr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// csvFixedHeader is the leading column set of the campaign CSV; method
+// columns follow.
+const csvFixedHeader = "index,scenario,m,u,sets"
+
+// campaignCSVHeaderNames renders the header row for method-name columns.
+func campaignCSVHeaderNames(methods []string) string {
+	return csvFixedHeader + "," + strings.Join(methods, ",") + "\n"
+}
+
+// campaignCSVRowNames renders one result row under the given method
+// columns (methods absent from the result render as 0).
+func campaignCSVRowNames(r PointResult, methods []string) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(r.Index))
+	b.WriteByte(',')
+	b.WriteString(r.Scenario)
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(r.M))
+	b.WriteByte(',')
+	b.WriteString(strconv.FormatFloat(r.U, 'g', -1, 64))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(r.Sets))
+	for _, m := range methods {
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(r.Sched[m]))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// CampaignCSV renders results as CSV with one column per method name.
+func CampaignCSV(results []PointResult, methods []string) string {
+	var b strings.Builder
+	b.WriteString(campaignCSVHeaderNames(methods))
+	for _, r := range results {
+		b.WriteString(campaignCSVRowNames(r, methods))
+	}
+	return b.String()
+}
+
+// ParseCampaignCSV decodes a campaign CSV stream, returning the results
+// and the method column names. It is strict about structure — header
+// prefix, column counts, integer and finite-float fields, [A-Za-z0-9._-]
+// scenario and method names, no duplicate method columns — so that every
+// accepted stream round-trips through CampaignCSV canonically. Sched
+// maps hold exactly the method columns.
+func ParseCampaignCSV(data string) ([]PointResult, []string, error) {
+	sc := bufio.NewScanner(strings.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("experiments: csv: empty input")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, csvFixedHeader+",") {
+		return nil, nil, fmt.Errorf("experiments: csv: bad header %q", header)
+	}
+	methods := strings.Split(header[len(csvFixedHeader)+1:], ",")
+	seen := make(map[string]bool, len(methods))
+	for _, m := range methods {
+		if !validName(m) {
+			return nil, nil, fmt.Errorf("experiments: csv: bad method column %q", m)
+		}
+		if seen[m] {
+			return nil, nil, fmt.Errorf("experiments: csv: duplicate method column %q", m)
+		}
+		seen[m] = true
+	}
+	var out []PointResult
+	line := 1
+	for sc.Scan() {
+		line++
+		row := sc.Text()
+		if row == "" {
+			continue
+		}
+		fields := strings.Split(row, ",")
+		if len(fields) != 5+len(methods) {
+			return nil, nil, fmt.Errorf("experiments: csv line %d: %d fields, want %d", line, len(fields), 5+len(methods))
+		}
+		var (
+			r   PointResult
+			err error
+		)
+		if r.Index, err = strconv.Atoi(fields[0]); err != nil {
+			return nil, nil, fmt.Errorf("experiments: csv line %d: index: %w", line, err)
+		}
+		if !validName(fields[1]) {
+			return nil, nil, fmt.Errorf("experiments: csv line %d: bad scenario %q", line, fields[1])
+		}
+		r.Scenario = fields[1]
+		if r.M, err = strconv.Atoi(fields[2]); err != nil {
+			return nil, nil, fmt.Errorf("experiments: csv line %d: m: %w", line, err)
+		}
+		if r.U, err = strconv.ParseFloat(fields[3], 64); err != nil {
+			return nil, nil, fmt.Errorf("experiments: csv line %d: u: %w", line, err)
+		}
+		if math.IsNaN(r.U) || math.IsInf(r.U, 0) {
+			return nil, nil, fmt.Errorf("experiments: csv line %d: non-finite u", line)
+		}
+		if r.Sets, err = strconv.Atoi(fields[4]); err != nil {
+			return nil, nil, fmt.Errorf("experiments: csv line %d: sets: %w", line, err)
+		}
+		r.Sched = make(map[string]int, len(methods))
+		for i, m := range methods {
+			if r.Sched[m], err = strconv.Atoi(fields[5+i]); err != nil {
+				return nil, nil, fmt.Errorf("experiments: csv line %d: %s: %w", line, m, err)
+			}
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return out, methods, nil
+}

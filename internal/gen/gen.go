@@ -78,13 +78,51 @@ func (g Group) String() string {
 	return fmt.Sprintf("Group(%d)", int(g))
 }
 
+// Shape selects a structural DAG family beyond the paper's populations,
+// for the extended scenario sweeps of the experiment orchestrator.
+type Shape int
+
+// DAG shape families.
+const (
+	// ShapeAuto picks the population-appropriate shape (the paper's
+	// behaviour): sequential-or-parallel for GroupMixed, nested
+	// fork-join for GroupParallel.
+	ShapeAuto Shape = iota
+	// ShapeWide emits a single flat fork-join whose width is at least
+	// NPar: maximal parallelism, minimal depth.
+	ShapeWide
+	// ShapeDeep emits a long chain with occasional two-wide diamonds:
+	// maximal depth, very limited parallelism.
+	ShapeDeep
+)
+
+func (s Shape) String() string {
+	switch s {
+	case ShapeAuto:
+		return "auto"
+	case ShapeWide:
+		return "wide"
+	case ShapeDeep:
+		return "deep"
+	}
+	return fmt.Sprintf("Shape(%d)", int(s))
+}
+
 // Params configure a Generator.
 type Params struct {
 	DAG   DAGParams
 	Group Group
+	// Shape overrides the per-population DAG structure (ShapeAuto keeps
+	// the paper's behaviour).
+	Shape Shape
 	// Beta is the minimum task utilization β: periods are drawn from
 	// [L, vol/Beta] (paper: 0.5).
 	Beta float64
+	// UMax caps the per-task utilization draw: u ~ U[Beta, UMax].
+	// 0 (or anything outside (Beta, 1]) means 1, the paper's setting.
+	// Together with Beta this expresses heavy (Beta near 1) and light
+	// (UMax well below 1) per-task utilization mixes.
+	UMax float64
 	// SeqProb is, for GroupMixed, the probability that a task is
 	// (almost) sequential. The paper does not print the mixing ratio;
 	// one half matches its description of the group. Default 0.5.
@@ -121,8 +159,15 @@ func New(seed int64, params Params) *Generator {
 	if params.DAG.CMax < params.DAG.CMin {
 		params.DAG.CMax = params.DAG.CMin
 	}
+	if params.Shape == ShapeWide && params.DAG.MaxNodes < 4 {
+		// The smallest wide graph is fork + join + 2 branches.
+		params.DAG.MaxNodes = 4
+	}
 	if params.Beta <= 0 || params.Beta > 1 {
 		params.Beta = 0.5
+	}
+	if params.UMax <= params.Beta || params.UMax > 1 {
+		params.UMax = 1
 	}
 	if params.SeqProb <= 0 || params.SeqProb >= 1 {
 		params.SeqProb = 0.5
@@ -131,8 +176,14 @@ func New(seed int64, params Params) *Generator {
 }
 
 // Graph generates one DAG with the generator's parameters, choosing the
-// population-appropriate shape.
+// population-appropriate shape (or the explicitly requested family).
 func (g *Generator) Graph() *dag.Graph {
+	switch g.params.Shape {
+	case ShapeWide:
+		return g.wideGraph()
+	case ShapeDeep:
+		return g.deepGraph()
+	}
 	if g.params.Group == GroupMixed && g.rng.Float64() < g.params.SeqProb {
 		return g.sequentialGraph()
 	}
@@ -214,22 +265,85 @@ func (g *Generator) parallelGraph() *dag.Graph {
 	return b.MustBuild()
 }
 
+// wideGraph emits one flat fork-join of width ≥ NPar (capped by the node
+// budget): the widest structure the node budget admits at path length 3.
+func (g *Generator) wideGraph() *dag.Graph {
+	var b dag.Builder
+	w := g.params.DAG.NPar + g.rng.Intn(g.params.DAG.NPar+1)
+	if w < 2 {
+		w = 2
+	}
+	// The node cap wins over the width floor (New guarantees room for
+	// the 4-node minimum fork-join).
+	if max := g.params.DAG.MaxNodes - 2; w > max {
+		w = max
+	}
+	fork := b.AddNode(g.wcet())
+	join := b.AddNode(g.wcet())
+	for i := 0; i < w; i++ {
+		v := b.AddNode(g.wcet())
+		b.AddEdge(fork, v)
+		b.AddEdge(v, join)
+	}
+	return b.MustBuild()
+}
+
+// deepGraph emits a chain of MaxPathLen nodes in which interior links are
+// occasionally widened into two-branch diamonds: the deepest admissible
+// structure with token parallelism (width ≤ 2).
+func (g *Generator) deepGraph() *dag.Graph {
+	var b dag.Builder
+	depth := g.params.DAG.MaxPathLen
+	if depth < 3 {
+		depth = 3
+	}
+	budget := g.params.DAG.MaxNodes
+	prev := b.AddNode(g.wcet())
+	budget--
+	for i := 1; i < depth; i++ {
+		if budget < 1 {
+			break
+		}
+		// A diamond consumes a path step for the join plus one extra
+		// off-path node; take it only with room for both.
+		if i+1 < depth && budget >= 3 && g.rng.Float64() < 0.3 {
+			left := b.AddNode(g.wcet())
+			right := b.AddNode(g.wcet())
+			join := b.AddNode(g.wcet())
+			b.AddEdge(prev, left)
+			b.AddEdge(prev, right)
+			b.AddEdge(left, join)
+			b.AddEdge(right, join)
+			prev = join
+			budget -= 3
+			i++ // the diamond spans two path steps (branch, join)
+			continue
+		}
+		v := b.AddNode(g.wcet())
+		b.AddEdge(prev, v)
+		prev = v
+		budget--
+	}
+	return b.MustBuild()
+}
+
 func (g *Generator) wcet() int64 {
 	return g.params.DAG.CMin + g.rng.Int63n(g.params.DAG.CMax-g.params.DAG.CMin+1)
 }
 
 // Task wraps a fresh graph into a task with an implicit deadline. The
-// task utilization is drawn uniformly from [β, 1] and the period set to
-// vol/U (never below L): β is the paper's minimum task utilization, and
-// capping single-task utilization at 1 reproduces the paper's
-// near-complete schedulability at low total utilizations (tasks with
-// T ≈ L would otherwise be born unschedulable under any blocking).
+// task utilization is drawn uniformly from [β, UMax] (the paper: [β, 1])
+// and the period set to vol/U (never below L): β is the paper's minimum
+// task utilization, and capping single-task utilization at 1 reproduces
+// the paper's near-complete schedulability at low total utilizations
+// (tasks with T ≈ L would otherwise be born unschedulable under any
+// blocking).
 func (g *Generator) Task() *model.Task {
 	graph := g.Graph()
 	g.nTasks++
 	l := graph.LongestPath()
 	vol := graph.Volume()
-	u := g.params.Beta + g.rng.Float64()*(1-g.params.Beta)
+	u := g.params.Beta + g.rng.Float64()*(g.params.UMax-g.params.Beta)
 	period := int64(float64(vol)/u + 0.5)
 	if period < l {
 		period = l

@@ -171,6 +171,106 @@ func TestGraphAlwaysSingleSource(t *testing.T) {
 	}
 }
 
+func TestShapeWide(t *testing.T) {
+	p := PaperParams(GroupParallel)
+	p.Shape = ShapeWide
+	g := New(11, p)
+	for i := 0; i < 200; i++ {
+		gr := g.Graph()
+		if gr.N() > p.DAG.MaxNodes {
+			t.Fatalf("wide graph exceeds node cap: %d", gr.N())
+		}
+		if w := gr.Width(); w < p.DAG.NPar {
+			t.Fatalf("wide graph width %d below NPar %d", w, p.DAG.NPar)
+		}
+		if got := len(gr.CriticalPath()); got != 3 {
+			t.Fatalf("wide graph critical path has %d nodes, want 3", got)
+		}
+	}
+}
+
+func TestShapeDeep(t *testing.T) {
+	p := PaperParams(GroupMixed)
+	p.DAG.MaxPathLen = 12
+	p.DAG.MaxNodes = 40
+	p.Shape = ShapeDeep
+	g := New(12, p)
+	sawDiamond := false
+	for i := 0; i < 200; i++ {
+		gr := g.Graph()
+		if w := gr.Width(); w > 2 {
+			t.Fatalf("deep graph width %d > 2", w)
+		}
+		if gr.N() > p.DAG.MaxNodes {
+			t.Fatalf("deep graph exceeds node cap: %d", gr.N())
+		}
+		if got := len(gr.CriticalPath()); got > p.DAG.MaxPathLen {
+			t.Fatalf("deep graph critical path %d > cap %d", got, p.DAG.MaxPathLen)
+		} else if got < 3 {
+			t.Fatalf("deep graph too shallow: %d path nodes", got)
+		}
+		if gr.Width() == 2 {
+			sawDiamond = true
+		}
+	}
+	if !sawDiamond {
+		t.Error("deep family never widened into a diamond")
+	}
+}
+
+func TestShapeWideTinyNodeBudget(t *testing.T) {
+	p := PaperParams(GroupParallel)
+	p.Shape = ShapeWide
+	p.DAG.MaxNodes = 3 // below the 4-node fork-join minimum: clamped to 4
+	g := New(15, p)
+	for i := 0; i < 100; i++ {
+		gr := g.Graph()
+		if gr.N() > 4 {
+			t.Fatalf("wide graph has %d nodes under a tiny budget (clamp to 4 failed)", gr.N())
+		}
+		if gr.Width() < 2 {
+			t.Fatalf("wide graph degenerated to width %d", gr.Width())
+		}
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if ShapeAuto.String() != "auto" || ShapeWide.String() != "wide" || ShapeDeep.String() != "deep" {
+		t.Error("shape strings wrong")
+	}
+	if Shape(9).String() == "" {
+		t.Error("unknown shape must render")
+	}
+}
+
+func TestUMaxBoundsUtilization(t *testing.T) {
+	p := PaperParams(GroupMixed)
+	p.Beta = 0.05
+	p.UMax = 0.3
+	g := New(13, p)
+	for i := 0; i < 200; i++ {
+		task := g.Task()
+		// Integer-period rounding and the T ≥ L clamp can push the
+		// realised utilization slightly past the draw.
+		if u := task.Utilization(); u > 0.35 {
+			t.Fatalf("light-mix task utilization %.3f exceeds UMax 0.3", u)
+		}
+	}
+	// Out-of-range UMax falls back to the paper's [β, 1].
+	q := PaperParams(GroupMixed)
+	q.UMax = 7
+	heavyish := New(14, q)
+	sawAboveHalf := false
+	for i := 0; i < 100; i++ {
+		if heavyish.Task().Utilization() > 0.6 {
+			sawAboveHalf = true
+		}
+	}
+	if !sawAboveHalf {
+		t.Error("UMax fallback to 1 not effective")
+	}
+}
+
 func TestGroupString(t *testing.T) {
 	if GroupMixed.String() != "mixed" || GroupParallel.String() != "parallel" {
 		t.Error("group strings wrong")

@@ -103,6 +103,26 @@ type Config struct {
 	// that quantify how much of the LP pessimism the repeated-blocking
 	// term contributes. Ignored for FPIdeal.
 	AblateRepeatedBlocking bool
+
+	// DonationSafeBlocking counts every preemption point as a potential
+	// blocking episode: p_k = q_k instead of the paper's
+	// p_k = min(q_k, h_k). The paper's min assumes repeated blocking
+	// requires a higher-priority-induced preemption, which its
+	// sequential-task substrate (RTNS 2015) guarantees — but a DAG task
+	// under eager work-conserving scheduling also yields cores at
+	// parallelism dips (a join waiting on a long branch), and a
+	// lower-priority NPR picked up at such a dip blocks the task with
+	// no preemption involved; successive dips can even be blocked by
+	// NPRs of one chain that the precedence-aware Δ^m counts only once.
+	// The differential soundness harness found generated sets whose
+	// simulated response exceeds the paper-exact LP-ILP bound this way
+	// (see DESIGN.md, "Eager-donation blocking gap", and the pinned
+	// reproducer in internal/experiments). Every blocking episode after
+	// the initial one starts at a node boundary of τ_k, so q_k bounds
+	// the episode count and p_k = q_k restores soundness under eager
+	// donation, at the price of extra pessimism. Off by default: the
+	// default analysis reproduces the paper. Ignored for FPIdeal.
+	DonationSafeBlocking bool
 }
 
 // DefaultMaxIterations is the per-task fixed-point budget.
@@ -266,7 +286,7 @@ func Analyze(ts *model.TaskSet, cfg Config) (*Result, error) {
 				hk += (cur + ti - 1) / ti // ⌈S/T_i⌉ in scaled form
 			}
 			pk := q
-			if hk < pk {
+			if !cfg.DonationSafeBlocking && hk < pk {
 				pk = hk
 			}
 			ilp := int64(0)

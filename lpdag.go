@@ -45,6 +45,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/engine"
 	"repro/internal/engine/cache"
+	"repro/internal/experiments"
 	"repro/internal/fixture"
 	"repro/internal/gen"
 	"repro/internal/model"
@@ -142,6 +143,19 @@ const (
 	// GroupParallel uses uniformly highly parallel tasks (HPC domain,
 	// the paper's second group).
 	GroupParallel = gen.GroupParallel
+)
+
+// Shape selects an extended DAG structure family (gen.Shape).
+type Shape = gen.Shape
+
+// DAG shape families of the extended scenario sweeps.
+const (
+	// ShapeAuto keeps the population-appropriate paper structure.
+	ShapeAuto = gen.ShapeAuto
+	// ShapeWide emits flat fork-joins of width ≥ NPar.
+	ShapeWide = gen.ShapeWide
+	// ShapeDeep emits long chains with occasional two-wide diamonds.
+	ShapeDeep = gen.ShapeDeep
 )
 
 // PaperGenParams returns the Section VI-A generator configuration.
@@ -272,6 +286,69 @@ func NewEngineServer(e *Engine, cfg ServerConfig) http.Handler { return engine.N
 // NewCache returns a bounded content-addressed result cache
 // (maxEntries ≤ 0 selects the default bound).
 func NewCache(maxEntries int) *Cache { return cache.New(maxEntries) }
+
+// Experiment-orchestration types (see internal/experiments): the
+// parallel sharded campaign sweeps and the differential soundness
+// harness.
+type (
+	// CampaignConfig describes a sweep campaign: the cartesian grid
+	// Scenarios × Ms × UFracs with SetsPerPoint task sets per point.
+	CampaignConfig = experiments.CampaignConfig
+	// CampaignScenario is one task-population family of a campaign.
+	CampaignScenario = experiments.Scenario
+	// CampaignPoint is one grid point.
+	CampaignPoint = experiments.Point
+	// CampaignPointResult is the per-point outcome (schedulable counts
+	// per method).
+	CampaignPointResult = experiments.PointResult
+	// CampaignRunOptions control execution and streaming (engine,
+	// JSONL/CSV writers, progress callback, resume data).
+	CampaignRunOptions = experiments.RunOptions
+	// CampaignProgress reports incremental completion with an ETA.
+	CampaignProgress = experiments.Progress
+	// SoundnessConfig parameterises the simulation-vs-analysis
+	// differential soundness harness.
+	SoundnessConfig = experiments.SoundnessConfig
+	// SoundnessReport aggregates a soundness sweep.
+	SoundnessReport = experiments.SoundnessReport
+	// SoundnessViolation is one analytical-bound violation with its
+	// minimized reproducer.
+	SoundnessViolation = experiments.SoundnessViolation
+)
+
+// RunCampaign executes a sweep campaign over an engine worker pool,
+// streaming per-point results in deterministic index order. Output is
+// byte-identical for any worker and shard count (see DESIGN.md,
+// "Campaign orchestrator").
+func RunCampaign(cfg CampaignConfig, opts CampaignRunOptions) ([]CampaignPointResult, error) {
+	return experiments.RunCampaign(cfg, opts)
+}
+
+// CampaignScenarios returns the named scenario registry (the paper's
+// populations plus heavy/light utilization mixes, wide/deep DAG shapes,
+// and NPR-granularity families).
+func CampaignScenarios() []CampaignScenario { return experiments.StandardScenarios() }
+
+// CampaignScenarioByName resolves a registry name.
+func CampaignScenarioByName(name string) (CampaignScenario, error) {
+	return experiments.ScenarioByName(name)
+}
+
+// ReadCampaignJSONL decodes a campaign's JSON-lines result stream (for
+// resuming via CampaignRunOptions.Completed, or analysis).
+func ReadCampaignJSONL(r io.Reader) ([]CampaignPointResult, error) {
+	return experiments.ReadCampaignJSONL(r)
+}
+
+// RunSoundness sweeps generated (task set, cores) points and checks
+// every analytical bound against the discrete-event simulator oracle.
+func RunSoundness(cfg SoundnessConfig) (*SoundnessReport, error) {
+	return experiments.RunSoundness(cfg)
+}
+
+// NewCampaignHandler serves POST /v1/campaign (streamed ndjson results)
+// on the given engine; cmd/lpdag-serve mounts it beside the engine API.
+func NewCampaignHandler(e *Engine) http.Handler { return experiments.CampaignHandler(e) }
 
 // Sequential-task substrate (see internal/seqlp): the RTNS 2015 analysis
 // of Thekkilakattil et al. the paper generalises to DAGs.

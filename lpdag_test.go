@@ -222,6 +222,38 @@ func TestFacadeEngine(t *testing.T) {
 	}
 }
 
+func TestFacadeCampaignAndSoundness(t *testing.T) {
+	cfg := CampaignConfig{
+		Seed: 11, Ms: []int{2}, UFracs: []float64{0.5}, SetsPerPoint: 2,
+		Scenarios: []CampaignScenario{{Name: "wide", Group: GroupParallel, Shape: ShapeWide}},
+	}
+	var jsonl strings.Builder
+	results, err := RunCampaign(cfg, CampaignRunOptions{JSONL: &jsonl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Sets != 2 {
+		t.Fatalf("unexpected results: %+v", results)
+	}
+	back, err := ReadCampaignJSONL(strings.NewReader(jsonl.String()))
+	if err != nil || len(back) != 1 {
+		t.Fatalf("jsonl round trip: %v (%d results)", err, len(back))
+	}
+	if len(CampaignScenarios()) < 6 {
+		t.Error("scenario registry too small")
+	}
+	if _, err := CampaignScenarioByName("deep"); err != nil {
+		t.Error(err)
+	}
+	rep, err := RunSoundness(SoundnessConfig{Seed: 5, Points: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalViolations != 0 {
+		t.Errorf("soundness violations on facade smoke run: %+v", rep.Violations)
+	}
+}
+
 func TestFacadeSharedCache(t *testing.T) {
 	memo := NewCache(128)
 	ts := PaperExample()
