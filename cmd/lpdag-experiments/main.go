@@ -22,6 +22,8 @@
 //	lpdag-experiments -campaign -scenarios mixed,wide,deep \
 //	    -ms 4,8,16,32,64 -sets 100 -workers 8 -jsonl out.jsonl -progress
 //	lpdag-experiments -campaign -resume out.partial.jsonl -jsonl out.jsonl
+//	lpdag-experiments -campaign -cluster http://host1:8080,http://host2:8080 \
+//	    -jsonl out.jsonl        # same bytes, computed on remote workers
 //	lpdag-experiments -soundness -points 2000   # sim-vs-analysis harness
 package main
 
@@ -36,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/experiments/cluster"
 )
 
 func main() {
@@ -72,6 +75,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonlPath = fs.String("jsonl", "", "stream campaign results as JSON lines to this file (- = stdout)")
 		resume    = fs.String("resume", "", "resume a campaign from a partial JSONL file (same seed and grid)")
 		progress  = fs.Bool("progress", false, "report campaign progress and ETA on stderr")
+
+		clusterHosts = fs.String("cluster", "", "run the campaign on remote lpdag-serve workers (comma-separated base URLs, e.g. http://host1:8080,http://host2:8080); output is byte-identical to a local run")
+		leaseTimeout = fs.Duration("lease-timeout", cluster.DefaultLeaseTimeout, "cluster shard lease: max stream silence before requeueing to another worker")
+		shardRetries = fs.Int("shard-retries", cluster.DefaultMaxShardRetries, "cluster shard lease: failure requeues per shard before the campaign fails")
+		maxLease     = fs.Int("max-lease-points", cluster.DefaultMaxShardPoints, "cluster shard lease: points per lease, at most the smallest -max-shard-points across the workers")
 
 		soundness = fs.Bool("soundness", false, "run the simulation-vs-analysis soundness harness")
 		points    = fs.Int("points", 1000, "generated points for -soundness")
@@ -116,7 +124,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			seed: *seed, ms: *ms, ufracs: *ufracs, scenarios: *scenarios,
 			sets: *sets, workers: *workers, shards: *shards, backend: be,
 			jsonlPath: *jsonlPath, csvPath: *csvPath, resume: *resume,
-			progress: *progress,
+			progress: *progress, cluster: *clusterHosts,
+			leaseTimeout: *leaseTimeout, shardRetries: *shardRetries,
+			maxLease: *maxLease,
 		}, stdout, stderr)
 		if code != 0 {
 			return code
@@ -245,6 +255,10 @@ type campaignArgs struct {
 	jsonlPath, csvPath    string
 	resume                string
 	progress              bool
+	cluster               string
+	leaseTimeout          time.Duration
+	shardRetries          int
+	maxLease              int
 }
 
 func runCampaign(a campaignArgs, stdout, stderr io.Writer) int {
@@ -325,7 +339,22 @@ func runCampaign(a campaignArgs, stdout, stderr io.Writer) int {
 		}
 	}
 
-	results, err := experiments.RunCampaign(cfg, opts)
+	var results []experiments.PointResult
+	if a.cluster != "" {
+		var urls []string
+		for _, h := range strings.Split(a.cluster, ",") {
+			if h = strings.TrimSpace(h); h != "" {
+				urls = append(urls, strings.TrimRight(h, "/"))
+			}
+		}
+		results, err = cluster.Run(cluster.Config{
+			Campaign: cfg, Workers: urls,
+			LeaseTimeout: a.leaseTimeout, MaxShardRetries: a.shardRetries,
+			Shards: a.shards, MaxLeasePoints: a.maxLease,
+		}, opts)
+	} else {
+		results, err = experiments.RunCampaign(cfg, opts)
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "lpdag-experiments: campaign: %v\n", err)
 		return 1

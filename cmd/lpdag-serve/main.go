@@ -14,8 +14,10 @@
 //	POST /v1/simulate  discrete-event scheduler simulation
 //	POST /v1/generate  random task-set generation
 //	POST /v1/campaign  sweep campaign, streamed as JSON lines
-//	GET  /healthz      liveness probe
-//	GET  /stats        engine + cache counters
+//	POST /v1/shard     cluster worker: compute a leased campaign shard
+//	GET  /healthz      liveness probe ("ok", or "draining" + 503 once
+//	                   SIGTERM drain begins) with worker load
+//	GET  /stats        engine + cache + worker counters
 //
 // Example:
 //
@@ -46,6 +48,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/experiments/cluster"
 )
 
 func main() {
@@ -66,6 +69,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		inFlight  = fs.Int("max-inflight", engine.DefaultMaxInFlight, "concurrent HTTP requests before shedding 503s")
 		maxBatch  = fs.Int("max-batch", engine.DefaultMaxBatch, "task sets per analyze batch")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+
+		// Cluster worker mode: the node serves POST /v1/shard leases from
+		// a campaign coordinator (lpdag-experiments -cluster).
+		maxShardPoints = fs.Int("max-shard-points", cluster.DefaultMaxShardPoints, "grid points per shard lease")
+		heartbeat      = fs.Duration("heartbeat", cluster.DefaultHeartbeat, "shard-stream keepalive interval; must stay well below every coordinator's -lease-timeout, or slow points are mistaken for dead workers")
+		drainGrace     = fs.Duration("drain-grace", 0, "after SIGTERM, keep serving this long with /healthz reporting draining so coordinators reroute before the listener closes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -85,13 +94,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// context: SIGTERM must stop accepting and let Shutdown drain
 	// in-flight requests, not cancel them mid-analysis.
 	//
-	// The campaign orchestrator mounts beside the engine endpoints (it
-	// lives in internal/experiments, one layer above the engine).
+	// The campaign orchestrator and the cluster shard endpoint mount
+	// beside the engine endpoints (they live in internal/experiments,
+	// one layer above the engine). The engine server doubles as the
+	// node's worker-state surface: the shard handler feeds its load
+	// gauges, and /healthz flips to "draining" when shutdown begins.
+	engSrv := engine.NewServer(eng, engine.ServerConfig{
+		MaxBodyBytes: *maxBody, MaxInFlight: *inFlight, MaxBatch: *maxBatch,
+	})
 	mux := http.NewServeMux()
 	mux.Handle("/v1/campaign", experiments.CampaignHandler(eng))
-	mux.Handle("/", engine.NewServer(eng, engine.ServerConfig{
-		MaxBodyBytes: *maxBody, MaxInFlight: *inFlight, MaxBatch: *maxBatch,
+	if *heartbeat <= 0 {
+		// A worker without keepalives breaks coordinators' lease
+		// watchdogs on any point slower than their -lease-timeout;
+		// serving mode always heartbeats (embedders can still disable
+		// via ClusterWorkerConfig).
+		*heartbeat = cluster.DefaultHeartbeat
+	}
+	mux.Handle("/v1/shard", cluster.NewWorkerHandler(eng, cluster.WorkerConfig{
+		MaxPoints: *maxShardPoints, Heartbeat: *heartbeat, Load: engSrv,
 	}))
+	mux.Handle("/", engSrv)
 	srv := &http.Server{
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -107,7 +130,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	case <-ctx.Done():
 	}
 
+	// Flip /healthz to "draining" FIRST: a coordinator polling this node
+	// must stop scheduling shards here the moment drain begins, not when
+	// the listener finally closes. The optional grace window keeps the
+	// listener open so pollers on fresh connections can observe the flip.
+	engSrv.StartDraining()
 	fmt.Fprintf(stderr, "lpdag-serve: shutting down (draining up to %s)\n", *drain)
+	if *drainGrace > 0 {
+		select {
+		case err := <-errc:
+			fmt.Fprintf(stderr, "lpdag-serve: %v\n", err)
+			return 2
+		case <-time.After(*drainGrace):
+		}
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {

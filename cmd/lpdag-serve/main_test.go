@@ -148,6 +148,65 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServeShardAndDrain exercises the cluster-worker surface of the
+// server: /v1/shard streams a leased subset as campaign JSONL, and
+// once shutdown begins (with -drain-grace holding the listener open)
+// /healthz flips to 503 "draining" while new shard leases are refused.
+func TestServeShardAndDrain(t *testing.T) {
+	base, shutdown := startServer(t, "-workers", "2", "-drain-grace", "1s", "-heartbeat", "100ms")
+
+	resp, err := http.Post(base+"/v1/shard", "application/json", strings.NewReader(
+		`{"campaign": {"seed": 3, "ms": [2], "u_fracs": [0.4, 0.8], "sets_per_point": 2, "scenarios": ["mixed"]}, "points": [0, 1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard: %d: %s", resp.StatusCode, data)
+	}
+	results, err := lpdag.ReadCampaignJSONL(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("shard stream: %v: %s", err, data)
+	}
+	if len(results) != 2 || results[0].Index != 0 || results[1].Index != 1 {
+		t.Fatalf("shard results drifted: %s", data)
+	}
+
+	// Begin shutdown in the background; during the grace window the
+	// listener stays open and must report draining + refuse leases.
+	exited := make(chan int, 1)
+	go func() { exited <- shutdown() }()
+	sawDraining := false
+	for deadline := time.Now().Add(900 * time.Millisecond); time.Now().Before(deadline); {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			break // grace elapsed, listener gone
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && strings.Contains(string(body), "draining") {
+			sawDraining = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !sawDraining {
+		t.Error("healthz never reported draining during the grace window")
+	}
+	if resp, err := http.Post(base+"/v1/shard", "application/json",
+		strings.NewReader(`{"campaign": {"seed": 1}, "points": [0]}`)); err == nil {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("draining shard lease: %d: %s", resp.StatusCode, body)
+		}
+	}
+	if code := <-exited; code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var stdout, stderr syncBuffer
 	if code := run(context.Background(), []string{"-no-such-flag"}, &stdout, &stderr); code != 2 {

@@ -59,16 +59,26 @@ const (
 	MaxGenTasks       = 4096
 )
 
-// server dispatches HTTP requests onto an Engine.
-type server struct {
+// Server dispatches HTTP requests onto an Engine. Beyond being the
+// http.Handler for the engine endpoints it carries the node's worker
+// state for cluster deployments: a draining flag (set by StartDraining
+// when SIGTERM drain begins, reported by /healthz so coordinators stop
+// scheduling here) and shard-load gauges fed by the /v1/shard handler
+// (internal/experiments/cluster).
+type Server struct {
 	eng      *Engine
 	cfg      ServerConfig
 	inFlight chan struct{}
 	requests uint64 // HTTP requests admitted (atomic)
+
+	draining     atomic.Bool
+	activeShards atomic.Int64
+	shardsServed atomic.Uint64
+	mux          *http.ServeMux
 }
 
-// NewServer returns the engine's HTTP handler.
-func NewServer(e *Engine, cfg ServerConfig) http.Handler {
+// NewServer returns the engine's HTTP server.
+func NewServer(e *Engine, cfg ServerConfig) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
@@ -78,18 +88,43 @@ func NewServer(e *Engine, cfg ServerConfig) http.Handler {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
-	s := &server{eng: e, cfg: cfg, inFlight: make(chan struct{}, cfg.MaxInFlight)}
+	s := &Server{eng: e, cfg: cfg, inFlight: make(chan struct{}, cfg.MaxInFlight)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.limited(s.handleAnalyze))
 	mux.HandleFunc("POST /v1/simulate", s.limited(s.handleSimulate))
 	mux.HandleFunc("POST /v1/generate", s.limited(s.handleGenerate))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// StartDraining marks the node as draining: /healthz flips to 503
+// "draining" immediately, and the shard endpoint refuses new leases, so
+// cluster coordinators stop scheduling here while in-flight requests
+// finish. It must be called when SIGTERM drain begins, not when the
+// listener closes — a node that keeps reporting healthy through its
+// drain window collects work it will never finish.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Draining reports whether StartDraining has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ShardStarted records a shard lease going active on this worker (load
+// reporting for /healthz and /stats).
+func (s *Server) ShardStarted() { s.activeShards.Add(1) }
+
+// ShardFinished records a shard lease ending (completed or failed).
+func (s *Server) ShardFinished() {
+	s.activeShards.Add(-1)
+	s.shardsServed.Add(1)
 }
 
 // limited wraps a handler with the in-flight semaphore and body cap.
-func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.inFlight <- struct{}{}:
@@ -147,6 +182,21 @@ func ParseMethod(s string) (core.Method, error) {
 		return core.FPIdeal, nil
 	}
 	return 0, fmt.Errorf("unknown method %q (want fp-ideal | lp-ilp | lp-max)", s)
+}
+
+// MethodWire renders a core.Method in the wire spelling ParseMethod
+// accepts (Method.String uses the paper's display capitalisation, which
+// the API does not).
+func MethodWire(m core.Method) (string, error) {
+	switch m {
+	case core.LPILP:
+		return "lp-ilp", nil
+	case core.LPMax:
+		return "lp-max", nil
+	case core.FPIdeal:
+		return "fp-ideal", nil
+	}
+	return "", fmt.Errorf("engine: method %v has no wire spelling", m)
 }
 
 // ParseBackend maps the API wire spelling to a core.Backend ("" =
@@ -226,7 +276,7 @@ func reportJSON(rep *core.Report) analyzeResult {
 	return out
 }
 
-func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req analyzeRequest
 	if !decode(w, r, &req) {
 		return
@@ -314,7 +364,7 @@ type simulateResponse struct {
 	CoreBusy    []int64 `json:"core_busy"`
 }
 
-func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
 	if !decode(w, r, &req) {
 		return
@@ -367,7 +417,7 @@ type generateRequest struct {
 	Count       int     `json:"count,omitempty"` // task sets to produce, default 1
 }
 
-func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var req generateRequest
 	if !decode(w, r, &req) {
 		return
@@ -425,8 +475,31 @@ func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"tasksets": sets})
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+// healthzResponse is the /healthz body. Status is "ok" while serving
+// and "draining" once SIGTERM drain has begun (with HTTP 503, so load
+// balancers and cluster coordinators stop routing work here); the load
+// fields let a coordinator prefer idle workers.
+type healthzResponse struct {
+	Status       string `json:"status"`
+	Workers      int    `json:"workers"`
+	QueueDepth   int    `json:"queue_depth"`
+	ActiveShards int64  `json:"active_shards"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	resp := healthzResponse{
+		Status:       "ok",
+		Workers:      st.Workers,
+		QueueDepth:   st.QueueDepth,
+		ActiveShards: s.activeShards.Load(),
+	}
+	if s.Draining() {
+		resp.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // statsResponse augments the engine stats with server-level counters.
@@ -434,14 +507,20 @@ type statsResponse struct {
 	Stats
 	HTTPRequests uint64  `json:"http_requests"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	ActiveShards int64   `json:"active_shards"`
+	ShardsServed uint64  `json:"shards_served"`
+	Draining     bool    `json:"draining"`
 }
 
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Stats:        st,
 		HTTPRequests: atomic.LoadUint64(&s.requests),
 		CacheHitRate: st.Cache.HitRate(),
+		ActiveShards: s.activeShards.Load(),
+		ShardsServed: s.shardsServed.Load(),
+		Draining:     s.Draining(),
 	})
 }
 

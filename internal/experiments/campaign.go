@@ -313,6 +313,47 @@ type RunOptions struct {
 	Completed []PointResult
 }
 
+// CheckResult validates one carried-over or remotely computed result
+// against the campaign grid: its index must name a point of THIS grid
+// and the point metadata must match. Resuming with a different
+// campaign's file (or accepting a confused cluster worker's stream)
+// would otherwise silently emit stale foreign points as this campaign's
+// output.
+func CheckResult(cfg CampaignConfig, points []Point, pr PointResult) error {
+	ncfg, err := cfg.normalized()
+	if err != nil {
+		return err
+	}
+	if pr.Index < 0 || pr.Index >= len(points) {
+		return fmt.Errorf("experiments: point index %d outside this campaign's grid (%d points)", pr.Index, len(points))
+	}
+	pt := points[pr.Index]
+	if pr.Scenario != pt.Scenario.Name || pr.M != pt.M || pr.U != pt.U || pr.Sets != ncfg.SetsPerPoint {
+		return fmt.Errorf("experiments: point %d is (%s, m=%d, u=%v, sets=%d) in the carried data but (%s, m=%d, u=%v, sets=%d) in this campaign — wrong file or changed config",
+			pr.Index, pr.Scenario, pr.M, pr.U, pr.Sets, pt.Scenario.Name, pt.M, pt.U, ncfg.SetsPerPoint)
+	}
+	return nil
+}
+
+// PrepareResume validates carried-over results against the campaign
+// grid and slots them: results[i] / ready[i] hold the carried outcome of
+// point i where one exists. Shared by RunCampaign's -resume path and the
+// cluster coordinator (internal/experiments/cluster).
+func PrepareResume(cfg CampaignConfig, points []Point, completed []PointResult) ([]PointResult, []bool, error) {
+	results := make([]PointResult, len(points))
+	ready := make([]bool, len(points))
+	for _, pr := range completed {
+		if err := CheckResult(cfg, points, pr); err != nil {
+			return nil, nil, fmt.Errorf("resume: %w", err)
+		}
+		if !ready[pr.Index] {
+			results[pr.Index] = pr
+			ready[pr.Index] = true
+		}
+	}
+	return results, ready, nil
+}
+
 // RunCampaign executes the campaign and returns the per-point results in
 // index order. Results stream to the writers incrementally; the returned
 // slice is the same data (campaign grids are small — memory pressure is
@@ -337,24 +378,9 @@ func RunCampaign(cfg CampaignConfig, opts RunOptions) ([]PointResult, error) {
 	}
 	memo := eng.Cache()
 
-	results := make([]PointResult, len(points))
-	ready := make([]bool, len(points))
-	for _, pr := range opts.Completed {
-		// A carried-over result must describe a point of THIS grid —
-		// resuming with a different campaign's file would otherwise
-		// silently emit stale foreign points as this campaign's output.
-		if pr.Index < 0 || pr.Index >= len(points) {
-			return nil, fmt.Errorf("experiments: resume: point index %d outside this campaign's grid (%d points)", pr.Index, len(points))
-		}
-		pt := points[pr.Index]
-		if pr.Scenario != pt.Scenario.Name || pr.M != pt.M || pr.U != pt.U || pr.Sets != ncfg.SetsPerPoint {
-			return nil, fmt.Errorf("experiments: resume: point %d is (%s, m=%d, u=%v, sets=%d) in the carried file but (%s, m=%d, u=%v, sets=%d) in this campaign — wrong file or changed config",
-				pr.Index, pr.Scenario, pr.M, pr.U, pr.Sets, pt.Scenario.Name, pt.M, pt.U, ncfg.SetsPerPoint)
-		}
-		if !ready[pr.Index] {
-			results[pr.Index] = pr
-			ready[pr.Index] = true
-		}
+	results, ready, err := PrepareResume(ncfg, points, opts.Completed)
+	if err != nil {
+		return nil, err
 	}
 	var remaining []int
 	for i := range points {
@@ -391,36 +417,18 @@ func RunCampaign(cfg CampaignConfig, opts RunOptions) ([]PointResult, error) {
 	}
 
 	var (
-		next     = 0
-		firstErr error
-		start    = time.Now()
-		csvOnce  = false
-		names    = methodNames(ncfg.Methods)
+		next    = 0
+		start   = time.Now()
+		emitter = NewStreamEmitter(opts.JSONL, opts.CSV, methodNames(ncfg.Methods))
 	)
 	emitFrontier := func() {
 		for next < len(points) && ready[next] {
-			if opts.JSONL != nil && firstErr == nil {
-				if err := WritePointResult(opts.JSONL, results[next]); err != nil {
-					firstErr = err
-				}
-			}
-			if opts.CSV != nil && firstErr == nil {
-				if !csvOnce {
-					if _, err := io.WriteString(opts.CSV, campaignCSVHeaderNames(names)); err != nil {
-						firstErr = err
-					}
-					csvOnce = true
-				}
-				if firstErr == nil {
-					if _, err := io.WriteString(opts.CSV, campaignCSVRowNames(results[next], names)); err != nil {
-						firstErr = err
-					}
-				}
-			}
+			emitter.Emit(results[next])
 			next++
 		}
 	}
 	emitFrontier() // resumed prefix, if any
+	var firstErr error
 	doneBase := len(points) - len(remaining)
 	for completed := 0; completed < len(remaining); completed++ {
 		d := <-done
@@ -441,6 +449,169 @@ func RunCampaign(cfg CampaignConfig, opts RunOptions) ([]PointResult, error) {
 			}
 			opts.OnProgress(p)
 		}
+	}
+	if firstErr == nil {
+		firstErr = emitter.Err()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// StreamEmitter writes point results to optional JSONL and CSV sinks,
+// emitting the CSV header lazily and latching the first write error.
+// Shared by RunCampaign, RunCampaignSubset, and the cluster coordinator
+// (internal/experiments/cluster), so local, worker, and merged cluster
+// byte streams all come from the same code path.
+type StreamEmitter struct {
+	jsonl, csv io.Writer
+	names      []string
+	csvOnce    bool
+	err        error
+}
+
+// NewStreamEmitter builds an emitter over the given sinks (either may
+// be nil); names are the CSV method columns (CampaignConfig.MethodNames).
+func NewStreamEmitter(jsonl, csv io.Writer, names []string) *StreamEmitter {
+	return &StreamEmitter{jsonl: jsonl, csv: csv, names: names}
+}
+
+// Emit writes one result; after the first write error it is a no-op.
+func (e *StreamEmitter) Emit(r PointResult) {
+	if e.err != nil {
+		return
+	}
+	if e.jsonl != nil {
+		if err := WritePointResult(e.jsonl, r); err != nil {
+			e.err = err
+			return
+		}
+	}
+	if e.csv != nil {
+		if !e.csvOnce {
+			if _, err := io.WriteString(e.csv, campaignCSVHeaderNames(e.names)); err != nil {
+				e.err = err
+				return
+			}
+			e.csvOnce = true
+		}
+		if _, err := io.WriteString(e.csv, campaignCSVRowNames(r, e.names)); err != nil {
+			e.err = err
+		}
+	}
+}
+
+// Err returns the latched first write error, if any.
+func (e *StreamEmitter) Err() error { return e.err }
+
+// MethodNames returns the campaign's method column names after
+// normalization (the default method set when none are configured).
+func (c CampaignConfig) MethodNames() []string {
+	ncfg, err := c.normalized()
+	if err != nil {
+		return methodNames(c.Methods)
+	}
+	return methodNames(ncfg.Methods)
+}
+
+// RunCampaignSubset computes just the given grid points of a campaign:
+// the worker half of the cluster shard protocol (the coordinator leases
+// index subsets to remote workers, each of which calls this). Indices
+// must be strictly increasing and inside the grid. Results stream to the
+// writers in that order; because every point is deterministic in
+// (campaign seed, index), the emitted lines are byte-identical to the
+// corresponding lines of a full local run.
+func RunCampaignSubset(cfg CampaignConfig, indices []int, opts RunOptions) ([]PointResult, error) {
+	ncfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	points, err := ncfg.Points()
+	if err != nil {
+		return nil, err
+	}
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(points) {
+			return nil, fmt.Errorf("experiments: subset: point index %d outside this campaign's grid (%d points)", idx, len(points))
+		}
+		if i > 0 && idx <= indices[i-1] {
+			return nil, fmt.Errorf("experiments: subset: indices must be strictly increasing (%d after %d)", idx, indices[i-1])
+		}
+	}
+	if len(indices) == 0 {
+		return nil, nil
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	eng := opts.Engine
+	if eng == nil {
+		eng = engine.New(engine.Config{Workers: ncfg.Workers})
+		defer eng.Close()
+	}
+	memo := eng.Cache()
+
+	results := make([]PointResult, len(indices))
+	ready := make([]bool, len(indices))
+	type pointDone struct {
+		pos int
+		res PointResult
+		err error
+	}
+	done := make(chan pointDone)
+	shardCount := ncfg.Shards
+	if shardCount <= 0 {
+		shardCount = 4 * eng.Workers()
+	}
+	for _, shard := range PlanShards(len(indices), shardCount) {
+		go func(positions []int) {
+			for _, p := range positions {
+				pt := points[indices[p]]
+				v, err := eng.Submit(ctx, engine.JobSweep, func() (any, error) {
+					return runCampaignPoint(ncfg, pt, memo)
+				})
+				d := pointDone{pos: p, err: err}
+				if err == nil {
+					d.res = v.(PointResult)
+				}
+				done <- d
+			}
+		}(shard)
+	}
+
+	var (
+		next     = 0
+		start    = time.Now()
+		firstErr error
+		emitter  = NewStreamEmitter(opts.JSONL, opts.CSV, methodNames(ncfg.Methods))
+	)
+	for completed := 0; completed < len(indices); completed++ {
+		d := <-done
+		if d.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiments: point %d: %w", indices[d.pos], d.err)
+			}
+			continue
+		}
+		results[d.pos] = d.res
+		ready[d.pos] = true
+		for next < len(indices) && ready[next] {
+			emitter.Emit(results[next])
+			next++
+		}
+		if opts.OnProgress != nil {
+			elapsed := time.Since(start)
+			p := Progress{Done: completed + 1, Total: len(indices), Elapsed: elapsed}
+			if rem := p.Total - p.Done; rem > 0 {
+				p.ETA = time.Duration(float64(elapsed) / float64(completed+1) * float64(rem))
+			}
+			opts.OnProgress(p)
+		}
+	}
+	if firstErr == nil {
+		firstErr = emitter.Err()
 	}
 	if firstErr != nil {
 		return nil, firstErr

@@ -17,8 +17,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"reflect"
 
-	"repro/internal/core"
 	"repro/internal/engine"
 )
 
@@ -32,10 +32,12 @@ const (
 	MaxCampaignAnalyses  = 250_000
 )
 
-// campaignRequest is the /v1/campaign body. Scenarios are registry
-// names (StandardScenarios); methods use the wire spellings of the
-// analyze endpoint ("fp-ideal" | "lp-ilp" | "lp-max").
-type campaignRequest struct {
+// CampaignRequest is the wire form of a campaign configuration: the
+// /v1/campaign body, and the campaign half of the cluster shard
+// protocol's /v1/shard body (internal/experiments/cluster). Scenarios
+// are registry names (StandardScenarios); methods use the wire
+// spellings of the analyze endpoint ("fp-ideal" | "lp-ilp" | "lp-max").
+type CampaignRequest struct {
 	Seed         int64     `json:"seed"`
 	Ms           []int     `json:"ms,omitempty"`
 	UFracs       []float64 `json:"u_fracs,omitempty"`
@@ -54,14 +56,14 @@ func CampaignHandler(eng *engine.Engine) http.Handler {
 			return
 		}
 		r.Body = http.MaxBytesReader(w, r.Body, MaxCampaignBodyBytes)
-		var req campaignRequest
+		var req CampaignRequest
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, "invalid request: %v", err)
 			return
 		}
-		cfg, err := campaignConfigFromRequest(req)
+		cfg, err := req.Config()
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -75,11 +77,7 @@ func CampaignHandler(eng *engine.Engine) http.Handler {
 			httpError(w, http.StatusBadRequest, "%d grid points exceed limit %d", len(points), MaxCampaignPoints)
 			return
 		}
-		nm := len(cfg.Methods)
-		if nm == 0 {
-			nm = len(core.Methods())
-		}
-		if analyses := len(points) * cfg.SetsPerPoint * nm; analyses > MaxCampaignAnalyses {
+		if analyses := len(points) * cfg.SetsPerPoint * len(cfg.Methods); analyses > MaxCampaignAnalyses {
 			httpError(w, http.StatusBadRequest, "%d analyses exceed limit %d", analyses, MaxCampaignAnalyses)
 			return
 		}
@@ -99,8 +97,8 @@ func CampaignHandler(eng *engine.Engine) http.Handler {
 	})
 }
 
-// campaignConfigFromRequest validates and resolves the wire form.
-func campaignConfigFromRequest(req campaignRequest) (CampaignConfig, error) {
+// Config validates and resolves the wire form into a CampaignConfig.
+func (req CampaignRequest) Config() (CampaignConfig, error) {
 	cfg := CampaignConfig{
 		Seed:         req.Seed,
 		Ms:           req.Ms,
@@ -134,7 +132,51 @@ func campaignConfigFromRequest(req campaignRequest) (CampaignConfig, error) {
 	if cfg.Backend, err = engine.ParseBackend(req.Backend); err != nil {
 		return cfg, err
 	}
-	return cfg, nil
+	// Return the normalized form (defaults filled), so every consumer —
+	// the campaign handler's admission estimate, the shard endpoint's —
+	// reasons about the grid actually computed instead of restating the
+	// package defaults.
+	return cfg.normalized()
+}
+
+// WireRequest renders a campaign configuration into its wire form, the
+// inverse of Config. Because the wire form names scenarios, every
+// scenario must be a registry entry (ScenarioByName) — a locally
+// modified scenario under a registry name would make remote workers
+// silently compute a different campaign, so it is rejected here.
+func (c CampaignConfig) WireRequest() (CampaignRequest, error) {
+	req := CampaignRequest{
+		Seed:         c.Seed,
+		Ms:           c.Ms,
+		UFracs:       c.UFracs,
+		SetsPerPoint: c.SetsPerPoint,
+		Shards:       0, // worker-local load balancing is the worker's business
+	}
+	for _, sc := range c.Scenarios {
+		reg, err := ScenarioByName(sc.Name)
+		if err != nil {
+			return req, fmt.Errorf("experiments: campaign not wire-encodable: %w", err)
+		}
+		if !reflect.DeepEqual(sc, reg) {
+			return req, fmt.Errorf("experiments: campaign not wire-encodable: scenario %q differs from the registry entry of that name", sc.Name)
+		}
+		req.Scenarios = append(req.Scenarios, sc.Name)
+	}
+	for _, m := range c.Methods {
+		w, err := engine.MethodWire(m)
+		if err != nil {
+			return req, err
+		}
+		req.Methods = append(req.Methods, w)
+	}
+	req.Backend = c.Backend.String()
+	// Round-trip through Config so a campaign the wire-level limits
+	// would reject (core counts, sets per point) fails at the
+	// coordinator, not on every worker.
+	if _, err := req.Config(); err != nil {
+		return req, err
+	}
+	return req, nil
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {

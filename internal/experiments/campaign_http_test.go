@@ -51,10 +51,10 @@ func TestCampaignEndpointStreamsNDJSON(t *testing.T) {
 
 	// The HTTP stream must be byte-identical to a local run of the same
 	// campaign (the determinism contract crosses the wire).
-	cfg, err := campaignConfigFromRequest(campaignRequest{
+	cfg, err := CampaignRequest{
 		Seed: 9, Ms: []int{2}, UFracs: []float64{0.4, 0.8}, SetsPerPoint: 2,
 		Scenarios: []string{"mixed", "wide"},
-	})
+	}.Config()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,6 +46,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/engine/cache"
 	"repro/internal/experiments"
+	"repro/internal/experiments/cluster"
 	"repro/internal/fixture"
 	"repro/internal/gen"
 	"repro/internal/model"
@@ -266,6 +267,11 @@ type (
 	// ServerConfig limits the HTTP front end (body size, in-flight
 	// requests, batch size).
 	ServerConfig = engine.ServerConfig
+	// EngineServer is the engine's HTTP front end plus the node's
+	// worker state: StartDraining flips /healthz to "draining" (and
+	// stops the shard endpoint taking leases), and the shard handler
+	// feeds its load gauges.
+	EngineServer = engine.Server
 	// Cache is the content-addressed memo store for derived analysis
 	// quantities (µ tables, top-NPR lists, Δ terms); share one via
 	// Options.Cache to make repeated analyses of overlapping task sets
@@ -278,10 +284,11 @@ type (
 // NewEngine starts a concurrent analysis engine; Close it when done.
 func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 
-// NewEngineServer returns the engine's HTTP handler (the lpdag-serve
+// NewEngineServer returns the engine's HTTP server (the lpdag-serve
 // API: POST /v1/analyze, /v1/simulate, /v1/generate, GET /healthz,
-// /stats).
-func NewEngineServer(e *Engine, cfg ServerConfig) http.Handler { return engine.NewServer(e, cfg) }
+// /stats). The returned server is an http.Handler and also the node's
+// worker-state surface for cluster deployments.
+func NewEngineServer(e *Engine, cfg ServerConfig) *EngineServer { return engine.NewServer(e, cfg) }
 
 // NewCache returns a bounded content-addressed result cache
 // (maxEntries ≤ 0 selects the default bound).
@@ -349,6 +356,36 @@ func RunSoundness(cfg SoundnessConfig) (*SoundnessReport, error) {
 // NewCampaignHandler serves POST /v1/campaign (streamed ndjson results)
 // on the given engine; cmd/lpdag-serve mounts it beside the engine API.
 func NewCampaignHandler(e *Engine) http.Handler { return experiments.CampaignHandler(e) }
+
+// Cluster types (see internal/experiments/cluster): the coordinator
+// that fans a campaign out across lpdag-serve worker nodes over shard
+// leases, with failover that never changes a byte of output.
+type (
+	// ClusterConfig parameterises a cluster campaign run: the campaign,
+	// the worker base URLs, and the lease/retry policy.
+	ClusterConfig = cluster.Config
+	// ClusterLease is one granted shard lease (for introspection).
+	ClusterLease = cluster.Lease
+	// ClusterWorkerConfig parameterises the worker-side shard handler.
+	ClusterWorkerConfig = cluster.WorkerConfig
+)
+
+// RunClusterCampaign executes a campaign across remote lpdag-serve
+// workers, merging streamed shard results in index order: the JSONL/CSV
+// output is byte-identical to a local RunCampaign of the same config,
+// regardless of worker count, shard count, retries, or mid-campaign
+// worker failures.
+func RunClusterCampaign(cfg ClusterConfig, opts CampaignRunOptions) ([]CampaignPointResult, error) {
+	return cluster.Run(cfg, opts)
+}
+
+// NewShardWorkerHandler serves POST /v1/shard on the given engine: the
+// worker half of the cluster protocol. Pass the node's *Server (from
+// NewEngineServer) as cfg.Load so shard load and draining state reach
+// /healthz and /stats.
+func NewShardWorkerHandler(e *Engine, cfg ClusterWorkerConfig) http.Handler {
+	return cluster.NewWorkerHandler(e, cfg)
+}
 
 // Sequential-task substrate (see internal/seqlp): the RTNS 2015 analysis
 // of Thekkilakattil et al. the paper generalises to DAGs.
