@@ -14,6 +14,7 @@ import (
 	"repro/internal/fixture"
 	"repro/internal/ilp"
 	"repro/internal/partition"
+	"repro/internal/rta"
 )
 
 // BenchmarkTableI regenerates Table I: the µ_i[c] worst-case workload
@@ -265,6 +266,61 @@ func BenchmarkCriticalScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := a.CriticalScaling(ts, 20000); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzePoint measures the steady-state cost of ONE
+// single-point LP-ILP analysis on a reusable rta.Analyzer — the
+// innermost unit of every campaign, sweep, and server request. This is
+// the headline number of BENCH_analyze.json: after the suffix-
+// incremental rewrite it must run the fixed-point loop at 0 allocs/op
+// (the -benchmem columns are part of the regression gate, and
+// TestAnalyzerSteadyStateZeroAlloc pins the zero).
+func BenchmarkAnalyzePoint(b *testing.B) {
+	g := NewGenerator(8*17, PaperGenParams(GroupMixed))
+	ts := g.TaskSet(0.4 * 8)
+	a, err := rta.NewAnalyzer(rta.Config{M: 8, Method: rta.LPILP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := a.AnalyzeInPlace(ts); err != nil { // warm the µ memo
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.AnalyzeInPlace(ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignThroughput runs one fixed multi-scenario campaign
+// end to end — generation, all three methods, streaming — per
+// iteration, with a fresh engine each time so iterations are honest.
+// This is the fleet-facing number of BENCH_analyze.json: what one
+// campaign worker node sustains.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	cfg := experiments.CampaignConfig{
+		Seed:         42,
+		Ms:           []int{4, 8},
+		UFracs:       []float64{0.2, 0.4, 0.6, 0.8},
+		SetsPerPoint: 8,
+		Scenarios: []experiments.Scenario{
+			{Name: "mixed", Group: GroupMixed},
+			{Name: "parallel", Group: GroupParallel},
+		},
+		Workers: 4,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunCampaign(cfg, experiments.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 16 {
+			b.Fatalf("%d points, want 16", len(results))
 		}
 	}
 }

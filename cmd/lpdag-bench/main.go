@@ -1,0 +1,252 @@
+// Command lpdag-bench runs the tracked performance benchmarks and
+// maintains BENCH_analyze.json: the repo's measured perf trajectory.
+//
+// Usage:
+//
+//	lpdag-bench [-bench regex] [-count n] [-benchtime t] [-pkg pattern]
+//	            [-label s] [-out file] [-baseline file] [-max-regress pct]
+//
+// It shells out to `go test -run=^$ -bench ... -benchmem -count n`,
+// parses the standard benchmark output, and condenses each benchmark to
+// its best (minimum) ns/op across the count repetitions with the
+// matching B/op and allocs/op — the benchstat-style "min damps noise"
+// reading, which suits the CI boxes these runs share.
+//
+// With -baseline it compares the fresh numbers against the LAST entry
+// of the baseline trajectory and exits 1 when, for any benchmark
+// present in both:
+//
+//   - allocs/op grew by more than 1% + 1 (allocation counts are mostly
+//     deterministic, but one-time warm-up allocations — scratch growth,
+//     cache fills — amortize differently at different -benchtime, so an
+//     exact gate would flake; steady-state zero-alloc is asserted
+//     exactly by TestAnalyzerSteadyStateZeroAlloc instead), or
+//   - ns/op regressed by more than -max-regress percent.
+//
+// With -out it appends the fresh entry to the trajectory file (creating
+// it when missing) so each PR can land its measured point.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Measurement is one benchmark's condensed result.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Entry is one point of the perf trajectory.
+type Entry struct {
+	Label      string                 `json:"label"`
+	Date       string                 `json:"date"`
+	GoVersion  string                 `json:"go"`
+	Count      int                    `json:"count"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+// Trajectory is the BENCH_analyze.json document: oldest entry first.
+type Trajectory struct {
+	Entries []Entry `json:"entries"`
+}
+
+// DefaultBench is the tracked benchmark set.
+const DefaultBench = "^(BenchmarkAnalyzePoint|BenchmarkCampaignThroughput|BenchmarkEngineUncachedSweep|BenchmarkEngineCachedSweep)$"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lpdag-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		bench      = fs.String("bench", DefaultBench, "benchmark regex passed to go test -bench")
+		count      = fs.Int("count", 3, "repetitions per benchmark (best of n is recorded)")
+		benchtime  = fs.String("benchtime", "", "go test -benchtime (empty = go default)")
+		pkg        = fs.String("pkg", ".", "package pattern to benchmark")
+		label      = fs.String("label", "", "entry label (default: bench-<date>)")
+		out        = fs.String("out", "", "trajectory file to append the entry to")
+		baseline   = fs.String("baseline", "", "trajectory file to regress against (its last entry)")
+		maxRegress = fs.Float64("max-regress", 20, "max tolerated ns/op regression in percent")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cmdArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		cmdArgs = append(cmdArgs, "-benchtime", *benchtime)
+	}
+	cmdArgs = append(cmdArgs, *pkg)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Stderr = stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(stderr, "lpdag-bench: go %s: %v\n%s", strings.Join(cmdArgs, " "), err, raw)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s", raw)
+
+	benches, err := ParseBenchOutput(strings.NewReader(string(raw)))
+	if err != nil {
+		fmt.Fprintf(stderr, "lpdag-bench: %v\n", err)
+		return 1
+	}
+	if len(benches) == 0 {
+		fmt.Fprintf(stderr, "lpdag-bench: no benchmarks matched %q\n", *bench)
+		return 1
+	}
+	entry := Entry{
+		Label:      *label,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		Count:      *count,
+		Benchmarks: benches,
+	}
+	if entry.Label == "" {
+		entry.Label = "bench-" + entry.Date
+	}
+
+	status := 0
+	if *baseline != "" {
+		base, err := ReadTrajectory(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "lpdag-bench: baseline: %v\n", err)
+			return 1
+		}
+		if len(base.Entries) == 0 {
+			fmt.Fprintf(stderr, "lpdag-bench: baseline %s has no entries\n", *baseline)
+			return 1
+		}
+		last := base.Entries[len(base.Entries)-1]
+		regressions := Compare(last, entry, *maxRegress)
+		for _, r := range regressions {
+			fmt.Fprintf(stderr, "lpdag-bench: REGRESSION: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			status = 1
+		} else {
+			fmt.Fprintf(stderr, "lpdag-bench: no regressions vs %q (gate: allocs +1%%+1, ns/op +%.0f%%)\n",
+				last.Label, *maxRegress)
+		}
+	}
+
+	if *out != "" {
+		traj, err := ReadTrajectory(*out)
+		if err != nil && !os.IsNotExist(err) {
+			fmt.Fprintf(stderr, "lpdag-bench: out: %v\n", err)
+			return 1
+		}
+		traj.Entries = append(traj.Entries, entry)
+		if err := WriteTrajectory(*out, traj); err != nil {
+			fmt.Fprintf(stderr, "lpdag-bench: out: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "lpdag-bench: appended entry %q to %s (%d entries)\n",
+			entry.Label, *out, len(traj.Entries))
+	}
+	return status
+}
+
+// benchLineRE matches `go test -bench -benchmem` result lines, e.g.
+// "BenchmarkAnalyzePoint-8  1000  710 ns/op  0 B/op  0 allocs/op".
+var benchLineRE = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+
+// ParseBenchOutput condenses benchmark output to the best (minimum)
+// ns/op per benchmark name across repetitions, keeping the memory
+// columns of the selected repetition.
+func ParseBenchOutput(r io.Reader) (map[string]Measurement, error) {
+	out := make(map[string]Measurement)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLineRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse %q: %w", sc.Text(), err)
+		}
+		meas := Measurement{NsPerOp: ns}
+		if m[3] != "" {
+			b, _ := strconv.ParseFloat(m[3], 64)
+			meas.BytesPerOp = int64(b)
+		}
+		if m[4] != "" {
+			a, _ := strconv.ParseFloat(m[4], 64)
+			meas.AllocsPerOp = int64(a)
+		}
+		if prev, ok := out[name]; !ok || meas.NsPerOp < prev.NsPerOp {
+			out[name] = meas
+		}
+	}
+	return out, sc.Err()
+}
+
+// Compare reports the regressions of cur vs base: an allocs/op increase
+// beyond 1% + 1 (warm-up allocations amortize differently at different
+// -benchtime, so exact equality flakes), or an ns/op slowdown beyond
+// maxRegressPct, for benchmarks present in both entries. Benchmarks only
+// on one side are ignored (new benchmarks must be able to land without a
+// baseline).
+func Compare(base, cur Entry, maxRegressPct float64) []string {
+	var out []string
+	for name, b := range base.Benchmarks {
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		if allowed := b.AllocsPerOp + b.AllocsPerOp/100 + 1; c.AllocsPerOp > allowed {
+			out = append(out, fmt.Sprintf("%s: allocs/op %d -> %d (> %d, the 1%%+1 tolerance)",
+				name, b.AllocsPerOp, c.AllocsPerOp, allowed))
+		}
+		if b.NsPerOp > 0 {
+			pct := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+			if pct > maxRegressPct {
+				out = append(out, fmt.Sprintf("%s: ns/op %.4g -> %.4g (%+.1f%% > %+.1f%%)",
+					name, b.NsPerOp, c.NsPerOp, pct, maxRegressPct))
+			}
+		}
+	}
+	return out
+}
+
+// ReadTrajectory loads a trajectory file; a missing file yields an
+// empty trajectory and an os.IsNotExist error the caller may ignore.
+func ReadTrajectory(path string) (Trajectory, error) {
+	var t Trajectory
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return t, err
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return t, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// WriteTrajectory stores the trajectory, indented for reviewable diffs.
+func WriteTrajectory(path string, t Trajectory) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

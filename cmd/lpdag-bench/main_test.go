@@ -1,0 +1,83 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAnalyzePoint-8         	    1000	       950.0 ns/op	      16 B/op	       1 allocs/op
+BenchmarkAnalyzePoint-8         	    1000	       710.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCampaignThroughput     	      50	  47042648 ns/op	15534114 B/op	  372141 allocs/op
+BenchmarkNoMem-8                	     100	      1234 ns/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := ParseBenchOutput(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	// Best-of-count: the faster AnalyzePoint repetition wins, with its
+	// own memory columns.
+	ap := got["AnalyzePoint"]
+	if ap.NsPerOp != 710.5 || ap.AllocsPerOp != 0 || ap.BytesPerOp != 0 {
+		t.Errorf("AnalyzePoint = %+v, want best-of-count {710.5 0 0}", ap)
+	}
+	if got["CampaignThroughput"].AllocsPerOp != 372141 {
+		t.Errorf("CampaignThroughput = %+v", got["CampaignThroughput"])
+	}
+	if got["NoMem"].NsPerOp != 1234 {
+		t.Errorf("NoMem = %+v", got["NoMem"])
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Entry{Benchmarks: map[string]Measurement{
+		"A": {NsPerOp: 100, AllocsPerOp: 0},
+		"B": {NsPerOp: 1000, AllocsPerOp: 5},
+		"C": {NsPerOp: 50, AllocsPerOp: 200},
+		"E": {NsPerOp: 50, AllocsPerOp: 200},
+	}}
+	cur := Entry{Benchmarks: map[string]Measurement{
+		"A": {NsPerOp: 115, AllocsPerOp: 1},  // +15% ns, +1 alloc — inside both gates
+		"B": {NsPerOp: 1300, AllocsPerOp: 5}, // +30% — ns regression
+		"C": {NsPerOp: 40, AllocsPerOp: 204}, // faster but allocs grew past 1%+1
+		"D": {NsPerOp: 1, AllocsPerOp: 0},    // new benchmark — ignored
+		"E": {NsPerOp: 50, AllocsPerOp: 203}, // +3 allocs = 1%+1 of 200 — tolerated
+	}}
+	regs := Compare(base, cur, 20)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	joined := strings.Join(regs, "\n")
+	if !strings.Contains(joined, "B: ns/op") || !strings.Contains(joined, "C: allocs/op") {
+		t.Errorf("unexpected regression set: %v", regs)
+	}
+}
+
+func TestTrajectoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	traj := Trajectory{Entries: []Entry{{
+		Label: "seed", Date: "2026-07-28", GoVersion: "go1.24.0", Count: 3,
+		Benchmarks: map[string]Measurement{"A": {NsPerOp: 1.5, AllocsPerOp: 2, BytesPerOp: 3}},
+	}}}
+	if err := WriteTrajectory(path, traj); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 1 || got.Entries[0].Benchmarks["A"] != traj.Entries[0].Benchmarks["A"] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}

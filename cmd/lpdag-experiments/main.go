@@ -234,7 +234,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *timing || *all {
 		ran = true
 		res := experiments.Timing(experiments.TimingConfig{
-			Ms: []int{4, 8, 16}, Sets: minInt(*sets, 20), Seed: *seed + 3, Backend: be,
+			Ms: []int{4, 8, 16}, Sets: min(*sets, 20), Seed: *seed + 3, Backend: be,
 		})
 		fmt.Fprintln(stdout, "Analysis runtime (Section VI-B):")
 		fmt.Fprint(stdout, experiments.TimingTable(res))
@@ -417,11 +417,4 @@ func writeCSV(stderr io.Writer, path, content string) int {
 	}
 	fmt.Fprintf(stderr, "wrote %s\n", path)
 	return 0
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

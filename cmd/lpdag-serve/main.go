@@ -30,6 +30,10 @@
 //	  ]}}]
 //	}'
 //
+// Profiling is opt-in: -pprof-addr localhost:6060 serves net/http/pprof
+// on a separate listener (keep it on loopback or behind a firewall; it
+// is never mounted on the service address).
+//
 // The server drains in-flight requests and stops the engine on SIGINT /
 // SIGTERM. Exit status: 0 on clean shutdown, 2 on usage or bind errors.
 package main
@@ -41,6 +45,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -75,6 +80,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		maxShardPoints = fs.Int("max-shard-points", cluster.DefaultMaxShardPoints, "grid points per shard lease")
 		heartbeat      = fs.Duration("heartbeat", cluster.DefaultHeartbeat, "shard-stream keepalive interval; must stay well below every coordinator's -lease-timeout, or slow points are mistaken for dead workers")
 		drainGrace     = fs.Duration("drain-grace", 0, "after SIGTERM, keep serving this long with /healthz reporting draining so coordinators reroute before the listener closes")
+
+		// Profiling: net/http/pprof on a SEPARATE listener, opt-in, so the
+		// profile surface is never exposed on the service address.
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,6 +93,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Workers: *workers, QueueDepth: *queue, CacheEntries: *cacheSize,
 	})
 	defer eng.Close()
+
+	if *pprofAddr != "" {
+		// Explicit mux (not http.DefaultServeMux) so the debug listener
+		// serves nothing but the profiler endpoints.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "lpdag-serve: pprof: %v\n", err)
+			return 2
+		}
+		defer pln.Close()
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(stderr, "lpdag-serve: pprof on %s/debug/pprof/\n", pln.Addr())
+		go func() {
+			psrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+			if err := psrv.Serve(pln); err != nil && err != http.ErrServerClosed && ctx.Err() == nil {
+				fmt.Fprintf(stderr, "lpdag-serve: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -216,3 +216,53 @@ func TestUsageErrors(t *testing.T) {
 		t.Errorf("bad addr: exit %d, want 2", code)
 	}
 }
+
+// TestPprofOptIn pins the profiling surface: off by default (nothing
+// listens, nothing is mounted on the service mux), served on the
+// separate -pprof-addr listener when asked.
+func TestPprofOptIn(t *testing.T) {
+	base, shutdown := startServer(t, "-workers", "1")
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof reachable on the service address without -pprof-addr")
+	}
+	shutdown()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1",
+			"-pprof-addr", "127.0.0.1:0"}, &stdout, &stderr)
+	}()
+	pprofRE := regexp.MustCompile(`pprof on (\S+)/debug/pprof/`)
+	deadline := time.Now().Add(5 * time.Second)
+	var paddr string
+	for time.Now().Before(deadline) && paddr == "" {
+		if m := pprofRE.FindStringSubmatch(stderr.String()); m != nil {
+			paddr = m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if paddr == "" {
+		t.Fatalf("pprof address never reported: %s", stderr.String())
+	}
+	resp, err = http.Get("http://" + paddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Errorf("pprof index: status %d body %.80s", resp.StatusCode, body)
+	}
+	cancel()
+	if code := <-done; code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+}

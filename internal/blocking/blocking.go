@@ -88,13 +88,12 @@ func MuTables(graphs []*dag.Graph, m int, be Backend) [][]int64 {
 }
 
 // TopNPRs returns the min(m, |V|) largest node WCETs of g in
-// non-increasing order — the per-task ingredient of LP-max.
+// non-increasing order — the per-task ingredient of LP-max. The result
+// is a view of the graph's memoized sorted-WCET list; callers must not
+// modify it.
 func TopNPRs(g *dag.Graph, m int) []int64 {
 	c := g.SortedWCETs()
-	if len(c) > m {
-		c = c[:m]
-	}
-	return c
+	return c[:min(len(c), m)]
 }
 
 // DeltaMaxFromTops computes the Equation (5) bound for a given core
@@ -107,11 +106,7 @@ func DeltaMaxFromTops(tops [][]int64, cores int) int64 {
 	}
 	var pool []int64
 	for _, t := range tops {
-		n := len(t)
-		if n > cores {
-			n = cores
-		}
-		pool = append(pool, t[:n]...)
+		pool = append(pool, t[:min(len(t), cores)]...)
 	}
 	sort.Slice(pool, func(i, j int) bool { return pool[i] > pool[j] })
 	if len(pool) > cores {
@@ -185,9 +180,7 @@ func DeltaILP(mus [][]int64, cores int, be Backend) int64 {
 	case PaperILP:
 		var best int64
 		for _, s := range partition.All(cores) {
-			if v := ilp.SolveRho(mus, cores, s); v > best {
-				best = v
-			}
+			best = max(best, ilp.SolveRho(mus, cores, s))
 		}
 		return best
 	}
@@ -201,14 +194,8 @@ func deltaDP(mus [][]int64, cores int) int64 {
 	for _, mu := range mus {
 		next := append([]int64(nil), dp...)
 		for j := 1; j <= cores; j++ {
-			limit := j
-			if limit > len(mu) {
-				limit = len(mu)
-			}
-			for c := 1; c <= limit; c++ {
-				if v := dp[j-c] + mu[c-1]; v > next[j] {
-					next[j] = v
-				}
+			for c := 1; c <= min(j, len(mu)); c++ {
+				next[j] = max(next[j], dp[j-c]+mu[c-1])
 			}
 		}
 		dp = next

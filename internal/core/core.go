@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/blocking"
 	"repro/internal/engine/cache"
@@ -58,9 +59,14 @@ type Options struct {
 	Cache *cache.Cache
 }
 
-// Analyzer runs the response-time analysis with fixed options.
+// Analyzer runs the response-time analysis with fixed options. It is
+// safe for concurrent use: the underlying rta.Analyzer scratch states
+// (suffix aggregators, µ memos, result buffers) are pooled, so in
+// steady state every worker goroutine reuses warm buffers and the
+// analysis hot path allocates nothing beyond the returned Report.
 type Analyzer struct {
 	opts Options
+	pool sync.Pool // of *rta.Analyzer
 }
 
 // New validates the options and returns an Analyzer.
@@ -78,7 +84,25 @@ func New(opts Options) (*Analyzer, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown backend %v", opts.Backend)
 	}
-	return &Analyzer{opts: opts}, nil
+	a := &Analyzer{opts: opts}
+	a.pool.New = func() any {
+		ra, err := rta.NewAnalyzer(a.rtaConfig())
+		if err != nil {
+			panic(err) // options were validated by New; unreachable
+		}
+		return ra
+	}
+	return a, nil
+}
+
+// rtaConfig maps the options onto the rta layer.
+func (a *Analyzer) rtaConfig() rta.Config {
+	return rta.Config{
+		M:       a.opts.Cores,
+		Method:  a.opts.Method,
+		Backend: a.opts.Backend,
+		Cache:   a.opts.Cache,
+	}
 }
 
 // MustNew is New that panics on error, for tests and fixtures.
@@ -123,12 +147,9 @@ type Report struct {
 
 // Analyze runs the analysis on the task set.
 func (a *Analyzer) Analyze(ts *model.TaskSet) (*Report, error) {
-	res, err := rta.Analyze(ts, rta.Config{
-		M:       a.opts.Cores,
-		Method:  a.opts.Method,
-		Backend: a.opts.Backend,
-		Cache:   a.opts.Cache,
-	})
+	ra := a.pool.Get().(*rta.Analyzer)
+	defer a.pool.Put(ra)
+	res, err := ra.AnalyzeInPlace(ts)
 	if err != nil {
 		return nil, err
 	}
@@ -156,13 +177,36 @@ func (a *Analyzer) Analyze(ts *model.TaskSet) (*Report, error) {
 	return rep, nil
 }
 
-// Schedulable is a convenience wrapper returning only the verdict.
+// Schedulable is a convenience wrapper returning only the verdict. It
+// skips the Report entirely, so a pooled warm analyzer answers it
+// without heap allocation.
 func (a *Analyzer) Schedulable(ts *model.TaskSet) (bool, error) {
-	rep, err := a.Analyze(ts)
+	ra := a.pool.Get().(*rta.Analyzer)
+	defer a.pool.Put(ra)
+	res, err := ra.AnalyzeInPlace(ts)
 	if err != nil {
 		return false, err
 	}
-	return rep.Schedulable, nil
+	return res.Schedulable, nil
+}
+
+// ScheduleBatch returns the schedulability verdict of every set, holding
+// one pooled rta.Analyzer — scratch buffers, suffix aggregator, µ memo —
+// across the whole batch. This is the batch entry point the engine pool
+// and the experiment campaigns drive: a sweep worker analyzing
+// SetsPerPoint sets back to back pays the analyzer setup once.
+func (a *Analyzer) ScheduleBatch(sets []*model.TaskSet) ([]bool, error) {
+	ra := a.pool.Get().(*rta.Analyzer)
+	defer a.pool.Put(ra)
+	out := make([]bool, len(sets))
+	for i, ts := range sets {
+		res, err := ra.AnalyzeInPlace(ts)
+		if err != nil {
+			return nil, fmt.Errorf("core: set %d: %w", i, err)
+		}
+		out[i] = res.Schedulable
+	}
+	return out, nil
 }
 
 // String renders the report as a fixed-width table.

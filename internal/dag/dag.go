@@ -20,9 +20,12 @@
 package dag
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/bitset"
 )
@@ -30,12 +33,39 @@ import (
 // Graph is an immutable directed acyclic graph of non-preemptive regions.
 // Build one with a Builder. Node indices run from 0 to N()-1; in the
 // paper's notation node v_{i,j} of task τ_i is index j-1.
+//
+// Because a Graph never changes after Build, every derived quantity is
+// a pure function of it and is memoized: the cheap O(V+E) scalars
+// (volume, longest path) are computed once at Build time, the heavier
+// structures (sorted WCETs, reachability and parallelism bitsets, the
+// content fingerprint) lazily on first use, concurrency-safely. The
+// memos live and die with the Graph, so analyses that revisit a graph —
+// every fixed-point iteration, every suffix of a priority ordering,
+// every method of a comparison sweep — pay for each quantity once.
 type Graph struct {
 	wcet  []int64
 	succ  [][]int // direct successors, each sorted ascending
 	pred  [][]int // direct predecessors, each sorted ascending
 	topo  []int   // one fixed topological order
 	names []string
+
+	volume  int64 // Σ wcet, fixed at Build
+	longest int64 // longest-path length L, fixed at Build
+
+	sortedOnce sync.Once
+	sorted     []int64 // WCETs, non-increasing
+
+	reachOnce sync.Once
+	reach     []*bitset.Set // SUCC(v) per node
+
+	parOnce sync.Once
+	par     []*bitset.Set // Par(v) per node (exact definition)
+
+	parMatOnce sync.Once
+	parMat     [][]bool // IsPar matrix over par
+
+	fpOnce sync.Once
+	fp     string // sha256 over canonical content
 }
 
 // Builder accumulates nodes and edges and validates them into a Graph.
@@ -109,6 +139,10 @@ func (b *Builder) Build() (*Graph, error) {
 		return nil, err
 	}
 	g.topo = topo
+	for _, c := range g.wcet {
+		g.volume += c
+	}
+	g.longest = g.computeLongestPath()
 	return g, nil
 }
 
@@ -238,18 +272,16 @@ func (g *Graph) Sinks() []int {
 }
 
 // Volume returns vol(G): the sum of all node WCETs, i.e. the WCET of the
-// task on a dedicated single core.
-func (g *Graph) Volume() int64 {
-	var s int64
-	for _, c := range g.wcet {
-		s += c
-	}
-	return s
-}
+// task on a dedicated single core. Memoized at Build time; O(1).
+func (g *Graph) Volume() int64 { return g.volume }
 
 // LongestPath returns L: the maximum, over all paths, of the summed node
 // WCETs — the minimum time the task needs on infinitely many cores.
-func (g *Graph) LongestPath() int64 {
+// Memoized at Build time; O(1).
+func (g *Graph) LongestPath() int64 { return g.longest }
+
+// computeLongestPath is the Build-time longest-path DP.
+func (g *Graph) computeLongestPath() int64 {
 	best := make([]int64, g.N())
 	var l int64
 	for _, v := range g.topo {
@@ -300,22 +332,26 @@ func (g *Graph) CriticalPath() []int {
 }
 
 // Reach returns, for every node v, the set SUCC(v) of nodes reachable
-// from v by one or more edges (v itself excluded).
+// from v by one or more edges (v itself excluded). The result is
+// memoized on the graph and shared; callers must not modify the sets.
 func (g *Graph) Reach() []*bitset.Set {
-	n := g.N()
-	out := make([]*bitset.Set, n)
-	for v := 0; v < n; v++ {
-		out[v] = bitset.New(n)
-	}
-	// Reverse topological order: successors' reach is complete first.
-	for i := n - 1; i >= 0; i-- {
-		v := g.topo[i]
-		for _, w := range g.succ[v] {
-			out[v].Add(w)
-			out[v].UnionWith(out[w])
+	g.reachOnce.Do(func() {
+		n := g.N()
+		out := make([]*bitset.Set, n)
+		for v := 0; v < n; v++ {
+			out[v] = bitset.New(n)
 		}
-	}
-	return out
+		// Reverse topological order: successors' reach is complete first.
+		for i := n - 1; i >= 0; i-- {
+			v := g.topo[i]
+			for _, w := range g.succ[v] {
+				out[v].Add(w)
+				out[v].UnionWith(out[w])
+			}
+		}
+		g.reach = out
+	})
+	return g.reach
 }
 
 // CoReach returns, for every node v, the set PRED(v) of nodes from which
@@ -360,21 +396,26 @@ func (g *Graph) Siblings() []*bitset.Set {
 // Parallel returns, for every node v, the exact set Par(v) of nodes that
 // can execute in parallel with v: the nodes u ≠ v such that u is not
 // reachable from v and v is not reachable from u. This is the definition
-// the blocking analysis relies on; it is sound for arbitrary DAGs.
+// the blocking analysis relies on; it is sound for arbitrary DAGs. The
+// result is memoized on the graph and shared; callers must not modify
+// the sets.
 func (g *Graph) Parallel() []*bitset.Set {
-	n := g.N()
-	succ := g.Reach()
-	out := make([]*bitset.Set, n)
-	for v := 0; v < n; v++ {
-		s := bitset.New(n)
-		for u := 0; u < n; u++ {
-			if u != v && !succ[v].Contains(u) && !succ[u].Contains(v) {
-				s.Add(u)
+	g.parOnce.Do(func() {
+		n := g.N()
+		succ := g.Reach()
+		out := make([]*bitset.Set, n)
+		for v := 0; v < n; v++ {
+			s := bitset.New(n)
+			for u := 0; u < n; u++ {
+				if u != v && !succ[v].Contains(u) && !succ[u].Contains(v) {
+					s.Add(u)
+				}
 			}
+			out[v] = s
 		}
-		out[v] = s
-	}
-	return out
+		g.par = out
+	})
+	return g.par
 }
 
 // Algorithm1Parallel is a verbatim implementation of Algorithm 1 of
@@ -429,19 +470,23 @@ func (g *Graph) Algorithm1Parallel() []*bitset.Set {
 
 // IsParallelMatrix returns the symmetric boolean matrix IsPar of the
 // paper's first ILP: IsPar[j][k] is true iff nodes j and k can execute in
-// parallel (exact reachability definition).
+// parallel (exact reachability definition). The result is memoized on
+// the graph and shared; callers must not modify it.
 func (g *Graph) IsParallelMatrix() [][]bool {
-	n := g.N()
-	par := g.Parallel()
-	m := make([][]bool, n)
-	for j := 0; j < n; j++ {
-		m[j] = make([]bool, n)
-		par[j].ForEach(func(k int) bool {
-			m[j][k] = true
-			return true
-		})
-	}
-	return m
+	g.parMatOnce.Do(func() {
+		n := g.N()
+		par := g.Parallel()
+		m := make([][]bool, n)
+		for j := 0; j < n; j++ {
+			m[j] = make([]bool, n)
+			par[j].ForEach(func(k int) bool {
+				m[j][k] = true
+				return true
+			})
+		}
+		g.parMat = m
+	})
+	return g.parMat
 }
 
 // Width returns the maximum number of nodes that can execute in parallel:
@@ -556,11 +601,47 @@ func (g *Graph) MaxAntichain() []int {
 	return out
 }
 
-// SortedWCETs returns the node WCETs in non-increasing order.
+// SortedWCETs returns the node WCETs in non-increasing order — the
+// top-NPR list of the Equation (5) blocking bound. The result is
+// memoized on the graph and shared; callers must not modify it.
 func (g *Graph) SortedWCETs() []int64 {
-	c := g.WCETs()
-	sort.Slice(c, func(i, j int) bool { return c[i] > c[j] })
-	return c
+	g.sortedOnce.Do(func() {
+		c := g.WCETs()
+		sort.Slice(c, func(i, j int) bool { return c[i] > c[j] })
+		g.sorted = c
+	})
+	return g.sorted
+}
+
+// Fingerprint returns a collision-resistant content digest of the graph:
+// the SHA-256 of its canonical form (node count, node WCETs, and the
+// deterministic edge list; display names are excluded because they never
+// affect analysis). Structurally identical graphs — however and wherever
+// they were built — share one fingerprint, which makes it the O(1)
+// content-addressing key for caches and for the suffix digest chains of
+// the analyzer. Memoized on the graph.
+func (g *Graph) Fingerprint() string {
+	g.fpOnce.Do(func() {
+		buf := make([]byte, 0, 16*g.N())
+		buf = strconv.AppendInt(buf, int64(g.N()), 10)
+		buf = append(buf, ';')
+		for _, c := range g.wcet {
+			buf = strconv.AppendInt(buf, c, 10)
+			buf = append(buf, ',')
+		}
+		buf = append(buf, ';')
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.succ[u] {
+				buf = strconv.AppendInt(buf, int64(u), 10)
+				buf = append(buf, '>')
+				buf = strconv.AppendInt(buf, int64(v), 10)
+				buf = append(buf, ',')
+			}
+		}
+		sum := sha256.Sum256(buf)
+		g.fp = string(sum[:])
+	})
+	return g.fp
 }
 
 // MaxWCET returns the largest node WCET — the longest NPR of the task.
@@ -590,14 +671,17 @@ func (g *Graph) DOT(graphName string) string {
 	return b.String()
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The Build-time scalars carry
+// over; the lazy memos are recomputed on demand by the copy.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		wcet:  append([]int64(nil), g.wcet...),
-		succ:  make([][]int, g.N()),
-		pred:  make([][]int, g.N()),
-		topo:  append([]int(nil), g.topo...),
-		names: append([]string(nil), g.names...),
+		wcet:    append([]int64(nil), g.wcet...),
+		succ:    make([][]int, g.N()),
+		pred:    make([][]int, g.N()),
+		topo:    append([]int(nil), g.topo...),
+		names:   append([]string(nil), g.names...),
+		volume:  g.volume,
+		longest: g.longest,
 	}
 	for i := range g.succ {
 		c.succ[i] = append([]int(nil), g.succ[i]...)

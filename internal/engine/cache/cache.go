@@ -7,13 +7,19 @@
 // vol(G) and L are deliberately not memoized — a lookup would cost as
 // much as recomputing them.)
 //
-// Entries are keyed by the canonical content of the graph structure
-// (node WCETs + edge list, not a lossy hash — distinct graphs can
-// never collide) combined with the analysis parameters (cores, method,
-// backend), so two structurally identical graphs share one entry
-// regardless of how or where they were built — a task set deserialized
-// twice from JSON, or the same lower-priority suffix re-analyzed at
-// every utilization point of a sweep, computes each quantity once.
+// Entries are keyed by the graph's memoized content fingerprint — the
+// SHA-256 of its canonical structure (node WCETs + edge list; see
+// dag.(*Graph).Fingerprint) — combined with the analysis parameters
+// (cores, method, backend), so two structurally identical graphs share
+// one entry regardless of how or where they were built: a task set
+// deserialized twice from JSON, or the same lower-priority suffix
+// re-analyzed at every utilization point of a sweep, computes each
+// quantity once. Suffix aggregates are keyed by a digest CHAIN
+// (SuffixDigest) folded over the priority ordering, so keying all n
+// suffixes of a set costs O(n) hashing total instead of re-serializing
+// every suffix's whole graph list. A SHA-256 collision would be needed
+// for distinct graphs to share an entry; we accept that risk as
+// cryptographically negligible.
 //
 // The store is safe for concurrent use and bounds its footprint with an
 // LRU eviction policy. Concurrent requests for a missing key are
@@ -24,8 +30,8 @@ package cache
 
 import (
 	"container/list"
+	"crypto/sha256"
 	"fmt"
-	"strconv"
 	"sync"
 
 	"repro/internal/blocking"
@@ -149,49 +155,39 @@ func (c *Cache) do(key string, fn func() any) any {
 	return e.val
 }
 
-// canonical returns the canonical content string of a graph: node
-// count, node WCETs, and the deterministic edge list. It is the cache
-// key, so structurally identical graphs share entries and — unlike a
-// fixed-width hash — structurally distinct graphs can never collide
-// into each other's results. Node display names are ignored (they
-// never affect analysis). DAG tasks in this domain have at most a few
-// dozen nodes, so keys stay small and the LRU bound caps total memory.
-func canonical(g *dag.Graph) string {
-	buf := make([]byte, 0, 8*g.N())
-	buf = strconv.AppendInt(buf, int64(g.N()), 10)
-	buf = append(buf, ';')
-	for v := 0; v < g.N(); v++ {
-		buf = strconv.AppendInt(buf, g.WCET(v), 10)
-		buf = append(buf, ',')
-	}
-	buf = append(buf, ';')
-	for u := 0; u < g.N(); u++ {
-		for _, v := range g.Successors(u) {
-			buf = strconv.AppendInt(buf, int64(u), 10)
-			buf = append(buf, '>')
-			buf = strconv.AppendInt(buf, int64(v), 10)
-			buf = append(buf, ',')
-		}
-	}
-	return string(buf)
+// SuffixDigest extends a suffix digest chain by one graph: the digest of
+// the graph list (g, rest...) given the digest of (rest...). Seeding
+// with "" for the empty list and folding right-to-left over a priority
+// ordering yields a key for every suffix in O(1) hashing per task —
+// the suffix-aggregate keying scheme of rta.Analyzer. Like the graph
+// fingerprint it chains, the digest is content-addressed: structurally
+// identical suffix lists share one digest no matter where their graphs
+// were built.
+func SuffixDigest(g *dag.Graph, rest string) string {
+	h := sha256.New()
+	h.Write([]byte(g.Fingerprint()))
+	h.Write([]byte(rest))
+	return string(h.Sum(nil))
 }
 
-// canonicalList keys a whole graph list (order-sensitive: priority
-// order matters for the analysis, so it must matter for the key).
-func canonicalList(graphs []*dag.Graph) string {
-	buf := make([]byte, 0, 64*len(graphs))
-	for _, g := range graphs {
-		buf = append(buf, canonical(g)...)
-		buf = append(buf, '|')
+// SuffixInterference returns the Δ^m/Δ^{m-1} pair of a lower-priority
+// suffix keyed by its chain digest (see SuffixDigest), computing it with
+// compute on a miss — singleflight-deduplicated like every entry.
+func (c *Cache) SuffixInterference(method blocking.Method, m int, be blocking.Backend, digest string, compute func() blocking.Interference) blocking.Interference {
+	if method == blocking.LPMax {
+		be = 0 // Equation (5) has no solver backend; don't split entries
 	}
-	return string(buf)
+	key := fmt.Sprintf("sfx|%d|%x|m=%d|be=%d", method, digest, m, be)
+	return c.do(key, func() any {
+		return compute()
+	}).(blocking.Interference)
 }
 
 // MuTable returns the µ[c] table of g for m cores (Equation (6)),
 // computing it with blocking.Mu on a miss. The returned slice is shared
 // with the cache; callers must not modify it.
 func (c *Cache) MuTable(g *dag.Graph, m int, be blocking.Backend) []int64 {
-	key := fmt.Sprintf("mu|%s|m=%d|be=%d", canonical(g), m, be)
+	key := fmt.Sprintf("mu|%x|m=%d|be=%d", g.Fingerprint(), m, be)
 	return c.do(key, func() any {
 		return blocking.Mu(g, m, be)
 	}).([]int64)
@@ -201,41 +197,8 @@ func (c *Cache) MuTable(g *dag.Graph, m int, be blocking.Backend) []int64 {
 // non-increasing order (the Equation (5) ingredient). The returned
 // slice is shared with the cache; callers must not modify it.
 func (c *Cache) TopNPRs(g *dag.Graph, m int) []int64 {
-	key := fmt.Sprintf("top|%s|m=%d", canonical(g), m)
+	key := fmt.Sprintf("top|%x|m=%d", g.Fingerprint(), m)
 	return c.do(key, func() any {
 		return blocking.TopNPRs(g, m)
 	}).([]int64)
-}
-
-// InterferenceLPMax returns the Δ^m/Δ^{m-1} pair of a lower-priority
-// graph list under LP-max (Equation (5)), keyed by the list content.
-// The per-graph top-NPR lists are themselves cached, so a suffix that
-// shares graphs with an already-analyzed set only pools cached lists.
-func (c *Cache) InterferenceLPMax(graphs []*dag.Graph, m int) blocking.Interference {
-	key := fmt.Sprintf("dmax|%s|m=%d", canonicalList(graphs), m)
-	return c.do(key, func() any {
-		tops := make([][]int64, len(graphs))
-		for i, g := range graphs {
-			tops[i] = c.TopNPRs(g, m)
-		}
-		return blocking.Interference{
-			DeltaM:  blocking.DeltaMaxFromTops(tops, m),
-			DeltaM1: blocking.DeltaMaxFromTops(tops, m-1),
-		}
-	}).(blocking.Interference)
-}
-
-// InterferenceLPILP returns the Δ^m/Δ^{m-1} pair under LP-ILP
-// (Equations (6)-(8)), keyed by the list content. The expensive
-// per-graph µ tables are fetched through the cache, so only
-// never-seen graphs pay the clique search.
-func (c *Cache) InterferenceLPILP(graphs []*dag.Graph, m int, be blocking.Backend) blocking.Interference {
-	key := fmt.Sprintf("dilp|%s|m=%d|be=%d", canonicalList(graphs), m, be)
-	return c.do(key, func() any {
-		mus := make([][]int64, len(graphs))
-		for i, g := range graphs {
-			mus[i] = c.MuTable(g, m, be)
-		}
-		return blocking.ComputeFromMus(mus, m, be)
-	}).(blocking.Interference)
 }

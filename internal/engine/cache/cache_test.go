@@ -29,10 +29,10 @@ func TestCanonicalContentAddressing(t *testing.T) {
 	g1 := buildGraph(3)
 	g2 := buildGraph(3) // structurally identical, distinct allocation
 	g3 := buildGraph(4)
-	if canonical(g1) != canonical(g2) {
+	if g1.Fingerprint() != g2.Fingerprint() {
 		t.Error("identical graphs should share a key")
 	}
-	if canonical(g1) == canonical(g3) {
+	if g1.Fingerprint() == g3.Fingerprint() {
 		t.Error("different WCETs should change the key")
 	}
 	// Same nodes, different edges.
@@ -42,12 +42,15 @@ func TestCanonicalContentAddressing(t *testing.T) {
 	}
 	b.AddEdge(0, 3)
 	chain := b.MustBuild()
-	if canonical(g1) == canonical(chain) {
+	if g1.Fingerprint() == chain.Fingerprint() {
 		t.Error("different edges should change the key")
 	}
-	// List keys must not be confusable across graph boundaries.
-	if canonicalList([]*dag.Graph{g1, g3}) == canonicalList([]*dag.Graph{g3, g1}) {
-		t.Error("list key must be order-sensitive")
+	// Suffix digest chains are order-sensitive and content-addressed.
+	if SuffixDigest(g1, SuffixDigest(g3, "")) == SuffixDigest(g3, SuffixDigest(g1, "")) {
+		t.Error("suffix digest chain must be order-sensitive")
+	}
+	if SuffixDigest(g1, SuffixDigest(g3, "")) != SuffixDigest(g2, SuffixDigest(g3, "")) {
+		t.Error("structurally identical suffixes must share a digest")
 	}
 }
 
@@ -77,24 +80,38 @@ func TestMuTableMatchesBlockingAndHits(t *testing.T) {
 	}
 }
 
-func TestInterferenceMatchesBlockingCompute(t *testing.T) {
+// chainDigest folds SuffixDigest right-to-left over a graph list,
+// yielding the key of the whole list — what rta.Analyzer computes for
+// suffix k via its digest chain.
+func chainDigest(graphs []*dag.Graph) string {
+	d := ""
+	for i := len(graphs) - 1; i >= 0; i-- {
+		d = SuffixDigest(graphs[i], d)
+	}
+	return d
+}
+
+func TestSuffixInterferenceMatchesBlockingCompute(t *testing.T) {
 	c := New(64)
 	graphs := fixture.LowerPriorityGraphs()
-	for _, be := range []blocking.Backend{blocking.Combinatorial} {
-		want := blocking.Compute(graphs, fixture.M, blocking.LPILP, be)
-		got := c.InterferenceLPILP(graphs, fixture.M, be)
-		if got != want {
-			t.Errorf("LP-ILP interference: got %+v want %+v", got, want)
+	digest := chainDigest(graphs)
+	for _, method := range []blocking.Method{blocking.LPILP, blocking.LPMax} {
+		want := blocking.Compute(graphs, fixture.M, method, blocking.Combinatorial)
+		computes := 0
+		lookup := func() blocking.Interference {
+			return c.SuffixInterference(method, fixture.M, blocking.Combinatorial, digest, func() blocking.Interference {
+				computes++
+				return blocking.Compute(graphs, fixture.M, method, blocking.Combinatorial)
+			})
 		}
-	}
-	want := blocking.Compute(graphs, fixture.M, blocking.LPMax, blocking.Combinatorial)
-	got := c.InterferenceLPMax(graphs, fixture.M)
-	if got != want {
-		t.Errorf("LP-max interference: got %+v want %+v", got, want)
-	}
-	// Repeat lookups must be hits and identical.
-	if again := c.InterferenceLPMax(graphs, fixture.M); again != want {
-		t.Errorf("second LP-max lookup drifted: %+v vs %+v", again, want)
+		if got := lookup(); got != want {
+			t.Errorf("%v interference: got %+v want %+v", method, got, want)
+		}
+		// Repeat lookups must be hits and identical.
+		if again := lookup(); again != want || computes != 1 {
+			t.Errorf("%v second lookup: got %+v (computes=%d), want %+v computed once",
+				method, again, computes, want)
+		}
 	}
 }
 
@@ -196,8 +213,12 @@ func TestConcurrentHammer(t *testing.T) {
 				c.MuTable(g, fixture.M, blocking.Combinatorial)
 				c.TopNPRs(g, fixture.M)
 				if i%5 == 0 {
-					c.InterferenceLPILP(graphs, fixture.M, blocking.Combinatorial)
-					c.InterferenceLPMax(graphs, fixture.M)
+					c.SuffixInterference(blocking.LPILP, fixture.M, blocking.Combinatorial, chainDigest(graphs), func() blocking.Interference {
+						return blocking.Compute(graphs, fixture.M, blocking.LPILP, blocking.Combinatorial)
+					})
+					c.SuffixInterference(blocking.LPMax, fixture.M, blocking.Combinatorial, chainDigest(graphs), func() blocking.Interference {
+						return blocking.Compute(graphs, fixture.M, blocking.LPMax, blocking.Combinatorial)
+					})
 				}
 				c.Stats()
 			}
@@ -205,7 +226,10 @@ func TestConcurrentHammer(t *testing.T) {
 	}
 	wg.Wait()
 	want := blocking.Compute(graphs, fixture.M, blocking.LPILP, blocking.Combinatorial)
-	if got := c.InterferenceLPILP(graphs, fixture.M, blocking.Combinatorial); got != want {
+	got := c.SuffixInterference(blocking.LPILP, fixture.M, blocking.Combinatorial, chainDigest(graphs), func() blocking.Interference {
+		return blocking.Compute(graphs, fixture.M, blocking.LPILP, blocking.Combinatorial)
+	})
+	if got != want {
 		t.Fatalf("post-hammer interference %+v, want %+v", got, want)
 	}
 }

@@ -622,7 +622,10 @@ func RunCampaignSubset(cfg CampaignConfig, indices []int, opts RunOptions) ([]Po
 // runCampaignPoint generates and analyzes the task sets of one grid
 // point. It runs inside an engine worker, so the analyses execute inline
 // (submitting nested jobs from a job would deadlock the pool) against
-// the campaign-shared cache.
+// the campaign-shared cache. The sets are generated once and each method
+// analyzes them as one ScheduleBatch, so the whole point reuses a single
+// warm rta scratch state per method — the sweep-side half of the
+// "one analyzer per worker" reuse story.
 func runCampaignPoint(cfg CampaignConfig, pt Point, memo *cache.Cache) (PointResult, error) {
 	res := PointResult{
 		Index:    pt.Index,
@@ -632,24 +635,26 @@ func runCampaignPoint(cfg CampaignConfig, pt Point, memo *cache.Cache) (PointRes
 		Sets:     cfg.SetsPerPoint,
 		Sched:    make(map[string]int, len(cfg.Methods)),
 	}
-	for _, method := range cfg.Methods {
-		res.Sched[method.String()] = 0 // stable key set even at zero
+	sets := make([]*model.TaskSet, cfg.SetsPerPoint)
+	for si := range sets {
+		sets[si] = pt.Scenario.TaskSet(SeedFor(cfg.Seed, pt.Index, si), pt.U)
 	}
-	for si := 0; si < cfg.SetsPerPoint; si++ {
-		ts := pt.Scenario.TaskSet(SeedFor(cfg.Seed, pt.Index, si), pt.U)
-		for _, method := range cfg.Methods {
-			a, err := core.New(core.Options{Cores: pt.M, Method: method, Backend: cfg.Backend, Cache: memo})
-			if err != nil {
-				return res, err
-			}
-			ok, err := a.Schedulable(ts)
-			if err != nil {
-				return res, fmt.Errorf("point %d set %d method %v: %w", pt.Index, si, method, err)
-			}
+	for _, method := range cfg.Methods {
+		a, err := core.New(core.Options{Cores: pt.M, Method: method, Backend: cfg.Backend, Cache: memo})
+		if err != nil {
+			return res, err
+		}
+		verdicts, err := a.ScheduleBatch(sets)
+		if err != nil {
+			return res, fmt.Errorf("point %d method %v: %w", pt.Index, method, err)
+		}
+		n := 0
+		for _, ok := range verdicts {
 			if ok {
-				res.Sched[method.String()]++
+				n++
 			}
 		}
+		res.Sched[method.String()] = n
 	}
 	return res, nil
 }

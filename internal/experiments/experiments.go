@@ -121,6 +121,13 @@ func runPoint(cfg Fig2Config, u float64, point int, memo *cache.Cache) CurvePoin
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// One analyzer per method for the whole point: core.Analyzer is
+	// concurrency-safe and pools its rta scratch states, so every worker
+	// goroutine reuses warm buffers instead of rebuilding them per set.
+	analyzers := make(map[core.Method]*core.Analyzer, 3)
+	for _, method := range core.Methods() {
+		analyzers[method] = core.MustNew(core.Options{Cores: cfg.M, Method: method, Backend: cfg.Backend, Cache: memo})
+	}
 	counts := make(map[core.Method]int, 3)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -133,8 +140,7 @@ func runPoint(cfg Fig2Config, u float64, point int, memo *cache.Cache) CurvePoin
 			defer func() { <-sem }()
 			local := make(map[core.Method]bool, 3)
 			for _, method := range core.Methods() {
-				a := core.MustNew(core.Options{Cores: cfg.M, Method: method, Backend: cfg.Backend, Cache: memo})
-				ok, err := a.Schedulable(ts)
+				ok, err := analyzers[method].Schedulable(ts)
 				if err != nil {
 					panic(err) // sets are pre-validated; unreachable
 				}
@@ -262,14 +268,17 @@ func TasksSweep(cfg TasksSweepConfig) []TasksSweepPoint {
 		sets = 1
 	}
 	memo := cache.New(0)
+	analyzers := make(map[core.Method]*core.Analyzer, 3)
+	for _, method := range core.Methods() {
+		analyzers[method] = core.MustNew(core.Options{Cores: cfg.M, Method: method, Backend: cfg.Backend, Cache: memo})
+	}
 	var out []TasksSweepPoint
 	for n := cfg.NStart; n <= cfg.NEnd; n++ {
 		counts := make(map[core.Method]int, 3)
 		for i := 0; i < sets; i++ {
 			ts := gen.New(SeedFor(cfg.Seed, n, i), gen.PaperParams(cfg.Group)).TaskSetN(n, cfg.U)
 			for _, method := range core.Methods() {
-				a := core.MustNew(core.Options{Cores: cfg.M, Method: method, Backend: cfg.Backend, Cache: memo})
-				ok, err := a.Schedulable(ts)
+				ok, err := analyzers[method].Schedulable(ts)
 				if err != nil {
 					panic(err) // generated sets are valid; unreachable
 				}
@@ -471,8 +480,21 @@ func Variants(cfg Fig2Config) []VariantPoint {
 		cfg.UStep = 0.25
 	}
 	// The three variants differ only in the fixed-point iteration; the
-	// blocking quantities they share come from one cache.
+	// blocking quantities they share come from one cache. One reusable
+	// analyzer per variant serves the whole (serial) sweep.
 	memo := cache.New(0)
+	variants := make([]*rta.Analyzer, 0, 3)
+	for _, vcfg := range []rta.Config{
+		{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend, Cache: memo},
+		{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend, Cache: memo, FinalNPRRefinement: true},
+		{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend, Cache: memo, AblateRepeatedBlocking: true},
+	} {
+		a, err := rta.NewAnalyzer(vcfg)
+		if err != nil {
+			panic(err) // static configs; unreachable
+		}
+		variants = append(variants, a)
+	}
 	var out []VariantPoint
 	idx := 0
 	for u := cfg.UStart; u <= cfg.UEnd+1e-9; u += cfg.UStep {
@@ -486,12 +508,8 @@ func Variants(cfg Fig2Config) []VariantPoint {
 		var plain, refined, ablated int
 		for i := 0; i < n; i++ {
 			ts := fig2Set(cfg, point, i, uu)
-			for vi, vcfg := range []rta.Config{
-				{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend, Cache: memo},
-				{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend, Cache: memo, FinalNPRRefinement: true},
-				{M: cfg.M, Method: rta.LPILP, Backend: cfg.Backend, Cache: memo, AblateRepeatedBlocking: true},
-			} {
-				res, err := rta.Analyze(ts, vcfg)
+			for vi, va := range variants {
+				res, err := va.AnalyzeInPlace(ts)
 				if err != nil {
 					panic(err) // generated sets are valid; unreachable
 				}

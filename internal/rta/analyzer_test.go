@@ -1,0 +1,179 @@
+package rta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine/cache"
+	"repro/internal/fixture"
+	"repro/internal/model"
+)
+
+// TestAnalyzerSteadyStateZeroAlloc pins the perf contract of the
+// reusable analyzer: once an Analyzer has seen a task set's graphs, the
+// whole cache-less analysis — scratch setup, suffix-incremental
+// blocking aggregation, and the fixed-point loops — performs no heap
+// allocation for any method.
+func TestAnalyzerSteadyStateZeroAlloc(t *testing.T) {
+	ts := fixture.TaskSet()
+	for _, method := range []Method{FPIdeal, LPMax, LPILP} {
+		a, err := NewAnalyzer(Config{M: fixture.M, Method: method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.AnalyzeInPlace(ts); err != nil { // warm the memos
+			t.Fatal(err)
+		}
+		var sink *Result
+		allocs := testing.AllocsPerRun(100, func() {
+			r, err := a.AnalyzeInPlace(ts)
+			if err != nil {
+				panic(err)
+			}
+			sink = r
+		})
+		if allocs != 0 {
+			t.Errorf("%v: steady-state AnalyzeInPlace allocates %.1f objects/op, want 0", method, allocs)
+		}
+		if sink == nil || len(sink.Tasks) != ts.N() {
+			t.Fatalf("%v: bad result", method)
+		}
+	}
+}
+
+// TestAnalyzerEquivalence quick-checks that one reused Analyzer — with
+// and without a shared cache — reports results identical to the
+// one-shot Analyze for random task sets across methods and core counts.
+// This is the referee for the suffix-incremental rewrite: every field of
+// every TaskResult must match, not just the verdict.
+func TestAnalyzerEquivalence(t *testing.T) {
+	for _, method := range []Method{FPIdeal, LPMax, LPILP} {
+		reused, err := NewAnalyzer(Config{M: 4, Method: method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		memo := cache.New(0)
+		cached, err := NewAnalyzer(Config{M: 4, Method: method, Cache: memo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			ts := randomTaskSet(rng, 1+rng.Intn(5))
+			want, err := Analyze(ts, Config{M: 4, Method: method})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range []*Analyzer{reused, cached} {
+				got, err := a.AnalyzeInPlace(ts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Schedulable != want.Schedulable || got.M != want.M || got.Method != want.Method ||
+					len(got.Tasks) != len(want.Tasks) {
+					return false
+				}
+				for i := range got.Tasks {
+					if got.Tasks[i] != want.Tasks[i] {
+						t.Logf("seed=%d method=%v task=%d: got %+v want %+v",
+							seed, method, i, got.Tasks[i], want.Tasks[i])
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+			t.Errorf("%v: %v", method, err)
+		}
+	}
+}
+
+// TestAnalyzerMuMemoColdDrop pins the retention policy of the
+// analyzer-local µ memo: identity keying only pays off when the same
+// TaskSet instance is re-analyzed, so a stream of freshly built sets —
+// the campaign and server shape — must drop the memo instead of
+// pinning up to muMemoLimit dead graphs, while a workload that holds
+// one set keeps its warm entries.
+func TestAnalyzerMuMemoColdDrop(t *testing.T) {
+	a, err := NewAnalyzer(Config{M: 4, Method: LPILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const tasksPerSet = 3
+	maxEntries := 0
+	for i := 0; i < 5*muColdLimit; i++ {
+		if _, err := a.AnalyzeInPlace(randomTaskSet(rng, tasksPerSet)); err != nil {
+			t.Fatal(err)
+		}
+		maxEntries = max(maxEntries, len(a.mus))
+	}
+	// The cold-drop policy clears every muColdLimit hitless calls on a
+	// fresh-set stream, so at most a cold window's worth of graphs
+	// (plus the warm-up window after a drop) is ever retained — far
+	// below the 5*muColdLimit sets analyzed.
+	if limit := (muColdLimit + 1) * tasksPerSet; maxEntries > limit {
+		t.Errorf("fresh-set stream retained %d µ entries, want ≤ %d", maxEntries, limit)
+	}
+	// A held set stays warm: entries survive repeated re-analysis.
+	held := randomTaskSet(rng, tasksPerSet)
+	for i := 0; i < 10; i++ {
+		if _, err := a.AnalyzeInPlace(held); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.muHits == 0 {
+		t.Error("re-analysis of a held set should hit the µ memo")
+	}
+}
+
+// TestAnalyzerScratchTailCleared pins that analyzing a small set after
+// a large one does not pin the large set's graphs in the scratch tail.
+func TestAnalyzerScratchTailCleared(t *testing.T) {
+	a, err := NewAnalyzer(Config{M: 4, Method: LPILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if _, err := a.AnalyzeInPlace(randomTaskSet(rng, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AnalyzeInPlace(randomTaskSet(rng, 2)); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range a.graphs[len(a.graphs):cap(a.graphs)] {
+		if g != nil {
+			t.Fatalf("scratch tail index %d still pins a graph", i)
+		}
+	}
+	for i, d := range a.digests[len(a.digests):cap(a.digests)] {
+		if d != "" {
+			t.Fatalf("digest tail index %d not cleared", i)
+		}
+	}
+}
+
+// TestAnalyzeOwnsResult pins that Analyze (unlike AnalyzeInPlace)
+// returns a result that survives subsequent calls.
+func TestAnalyzeOwnsResult(t *testing.T) {
+	ts := fixture.TaskSet()
+	a, err := NewAnalyzer(Config{M: fixture.M, Method: LPILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := a.Analyze(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]TaskResult(nil), first.Tasks...)
+	if _, err := a.AnalyzeInPlace(&model.TaskSet{Tasks: ts.Tasks[:1]}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range snapshot {
+		if first.Tasks[i] != snapshot[i] {
+			t.Fatalf("Analyze result mutated by a later AnalyzeInPlace call")
+		}
+	}
+}

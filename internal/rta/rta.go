@@ -167,60 +167,262 @@ type Result struct {
 	M           int
 }
 
+// Analyzer runs the response-time analysis with fixed configuration,
+// reusing every internal buffer across calls: the structural scratch
+// (per-task volumes, longest paths, response bounds), the
+// suffix-incremental blocking aggregator, an analyzer-local µ-table memo
+// keyed by graph identity, and the result itself for AnalyzeInPlace. In
+// steady state — re-analyzing task sets whose graphs the analyzer has
+// seen — AnalyzeInPlace performs no heap allocation at all (asserted by
+// TestAnalyzerSteadyStateZeroAlloc).
+//
+// An Analyzer is NOT safe for concurrent use; give each worker its own
+// (core.Analyzer pools them, the engine keeps one pool per spec).
+type Analyzer struct {
+	cfg     Config
+	maxIter int
+
+	// Per-set scratch, grown to the largest set analyzed.
+	vols, longs, rm []int64
+	graphs          []*dag.Graph
+	suffix          []blocking.Interference
+	digests         []string
+
+	// Reverse suffix scan state: graphs[scanPos:] have been pushed into
+	// agg, and suffix[j] is valid for j ≥ scanPos-1.
+	scanPos int
+	agg     *blocking.SuffixAggregator
+
+	// µ memo for the cache-less LP-ILP path, keyed by graph identity
+	// (graphs are immutable). Bounded two ways: cleared wholesale past
+	// muMemoLimit entries, and dropped after muColdLimit consecutive
+	// hitless calls (see AnalyzeInPlace) — identity keying only pays
+	// off when the same TaskSet instances recur, and a pooled
+	// long-lived analyzer fed a stream of freshly built sets must not
+	// pin dead graphs (and their lazily memoized bitsets) until the
+	// entry limit.
+	mus         map[*dag.Graph][]int64
+	muHits      int // memo hits in the current call
+	muColdCalls int // consecutive completed calls with zero hits
+
+	res Result
+}
+
+// muMemoLimit bounds the analyzer-local µ memo.
+const muMemoLimit = 4096
+
+// muColdLimit is how many consecutive hitless AnalyzeInPlace calls the
+// µ memo survives before being dropped. Large enough that a workload
+// cycling over a few dozen held sets through a pooled analyzer stays
+// warm (an engine sweeping 16 sets across 4 workers repeats a set at an
+// analyzer well within this stride), small enough that a fresh-set
+// campaign stream retains at most ~a cold window's worth of dead
+// graphs instead of muMemoLimit.
+const muColdLimit = 32
+
+// NewAnalyzer validates the configuration and returns a reusable
+// Analyzer.
+func NewAnalyzer(cfg Config) (*Analyzer, error) {
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("rta: need at least one core, got %d", cfg.M)
+	}
+	switch cfg.Method {
+	case FPIdeal, LPMax, LPILP:
+	default:
+		return nil, fmt.Errorf("rta: unknown method %v", cfg.Method)
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter == 0 {
+		maxIter = DefaultMaxIterations
+	}
+	return &Analyzer{cfg: cfg, maxIter: maxIter}, nil
+}
+
+// Config returns the analyzer's configuration.
+func (a *Analyzer) Config() Config { return a.cfg }
+
+// Analyze runs the analysis and returns a freshly allocated Result the
+// caller owns.
+func (a *Analyzer) Analyze(ts *model.TaskSet) (*Result, error) {
+	r, err := a.AnalyzeInPlace(ts)
+	if err != nil {
+		return nil, err
+	}
+	out := *r
+	out.Tasks = append([]TaskResult(nil), r.Tasks...)
+	return &out, nil
+}
+
 // Analyze runs the response-time analysis on the task set under the
 // given configuration. Tasks are processed in priority order; if a task
 // is found unschedulable, the set verdict is unschedulable and the
 // remaining (lower-priority) tasks are reported unanalyzed, mirroring the
 // iterative structure of Equation (1) which needs each higher-priority
 // response time as input.
+//
+// One-shot convenience over NewAnalyzer; callers analyzing more than one
+// set with the same configuration should hold an Analyzer (or a
+// core.Analyzer, which pools them) to reuse its scratch state.
 func Analyze(ts *model.TaskSet, cfg Config) (*Result, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.M < 1 {
-		return nil, fmt.Errorf("rta: need at least one core, got %d", cfg.M)
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		return nil, err
 	}
-	maxIter := cfg.MaxIterations
-	if maxIter == 0 {
-		maxIter = DefaultMaxIterations
-	}
+	return a.Analyze(ts)
+}
 
+// ensure sizes the scratch buffers for an n-task set and resets the
+// suffix scan. Allocation-free once the buffers have grown.
+func (a *Analyzer) ensure(n int) {
+	if cap(a.vols) < n {
+		a.vols = make([]int64, n)
+		a.longs = make([]int64, n)
+		a.rm = make([]int64, n)
+		a.graphs = make([]*dag.Graph, n)
+		a.suffix = make([]blocking.Interference, n)
+		a.digests = make([]string, n+1)
+	}
+	a.vols, a.longs, a.rm = a.vols[:n], a.longs[:n], a.rm[:n]
+	a.graphs, a.suffix = a.graphs[:n], a.suffix[:n]
+	a.digests = a.digests[:n+1]
+	// Shrinking must not pin the previous, larger set: clear the
+	// pointer-holding tails up to the high-water mark so those graphs
+	// (with their lazily memoized O(V²) bitsets) stay collectable.
+	clear(a.graphs[n:cap(a.graphs)])
+	clear(a.digests[n+1 : cap(a.digests)])
+	a.scanPos = n
+	if n > 0 {
+		a.suffix[n-1] = blocking.Interference{} // empty lowest-priority suffix
+	}
+	if a.cfg.Method != FPIdeal {
+		if a.agg == nil {
+			a.agg = blocking.NewSuffixAggregator(a.cfg.M, blockingMethod(a.cfg.Method), a.cfg.Backend)
+		} else {
+			a.agg.Reset(a.cfg.M, blockingMethod(a.cfg.Method), a.cfg.Backend)
+		}
+	}
+	if cap(a.res.Tasks) < n {
+		a.res.Tasks = make([]TaskResult, n)
+	}
+	a.res.Tasks = a.res.Tasks[:n]
+}
+
+// blockingMethod maps the analysis variant to its blocking bound.
+func blockingMethod(m Method) blocking.Method {
+	if m == LPMax {
+		return blocking.LPMax
+	}
+	return blocking.LPILP
+}
+
+// muTable returns the µ table of g through the analyzer-local memo
+// (cache-less LP-ILP path).
+func (a *Analyzer) muTable(g *dag.Graph) []int64 {
+	if mu, ok := a.mus[g]; ok {
+		a.muHits++
+		return mu
+	}
+	if a.mus == nil {
+		a.mus = make(map[*dag.Graph][]int64)
+	} else if len(a.mus) >= muMemoLimit {
+		clear(a.mus)
+	}
+	mu := blocking.Mu(g, a.cfg.M, a.cfg.Backend)
+	a.mus[g] = mu
+	return mu
+}
+
+// push feeds one graph into the suffix aggregator, fetching its µ table
+// or top-NPR list through the configured cache when one is present.
+func (a *Analyzer) push(g *dag.Graph) {
+	switch {
+	case a.cfg.Cache == nil && a.cfg.Method == LPILP:
+		a.agg.PushMu(a.muTable(g))
+	case a.cfg.Cache == nil: // LPMax
+		a.agg.PushTops(g.SortedWCETs())
+	case a.cfg.Method == LPILP:
+		a.agg.PushMu(a.cfg.Cache.MuTable(g, a.cfg.M, a.cfg.Backend))
+	default: // LPMax through the cache
+		a.agg.PushTops(a.cfg.Cache.TopNPRs(g, a.cfg.M))
+	}
+}
+
+// demandSuffix returns the Δ interference of graphs[k+1:], advancing the
+// reverse scan only as far as needed. µ tables are computed lazily at
+// the suffix step that first consumes their graph — never up front, and
+// never for the highest-priority task, whose graph is in no suffix.
+func (a *Analyzer) demandSuffix(k int) blocking.Interference {
+	for a.scanPos > k+1 {
+		a.scanPos--
+		a.push(a.graphs[a.scanPos])
+		a.suffix[a.scanPos-1] = a.agg.Interference()
+	}
+	return a.suffix[k]
+}
+
+// AnalyzeInPlace runs the analysis and returns the analyzer's internal
+// Result, valid until the next call on this analyzer. This is the
+// zero-allocation entry point of the fixed-point loop; callers that need
+// the result to outlive the next call must use Analyze.
+func (a *Analyzer) AnalyzeInPlace(ts *model.TaskSet) (*Result, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := a.cfg
 	n := ts.N()
 	m64 := int64(cfg.M)
-	res := &Result{Schedulable: true, Method: cfg.Method, M: cfg.M,
-		Tasks: make([]TaskResult, n)}
+	// Drop the µ memo once it is demonstrably cold: muColdLimit
+	// consecutive calls without a single hit mean the workload is a
+	// stream of fresh graphs, not re-analysis of held sets. Resetting
+	// the cold counter after a drop leaves a full window for a
+	// steady-state workload to warm back up (populate, then hit), so
+	// the zero-allocation loop is unaffected.
+	if len(a.mus) > 0 {
+		if a.muHits == 0 {
+			a.muColdCalls++
+		} else {
+			a.muColdCalls = 0
+		}
+		if a.muColdCalls >= muColdLimit {
+			clear(a.mus)
+			a.muColdCalls = 0
+		}
+	}
+	a.muHits = 0
+	a.ensure(n)
+	res := &a.res
+	res.Schedulable, res.Method, res.M = true, cfg.Method, cfg.M
 
-	// µ tables are task-local ("compile-time" per the paper): compute
-	// once for the whole set when the method needs them, through the
-	// content-addressed cache when one is configured.
-	var mus [][]int64
-	if cfg.Method == LPILP && cfg.Cache == nil {
-		mus = make([][]int64, n)
-		for i, t := range ts.Tasks {
-			mus[i] = blocking.Mu(t.G, cfg.M, cfg.Backend)
+	// Structural quantities read on every fixed-point iteration (O(1)
+	// each — memoized on the immutable graphs at Build time), and the
+	// graph list whose suffixes are the lower-priority sets.
+	for i, t := range ts.Tasks {
+		a.vols[i], a.longs[i] = t.G.Volume(), t.G.LongestPath()
+		a.graphs[i] = t.G
+	}
+
+	// With a cache configured, suffix aggregates are memoized under a
+	// digest chain: digest(k) = H(fingerprint(graphs[k]) ‖ digest(k+1)),
+	// so keying all n suffixes costs O(n) hashing instead of the O(n²)
+	// re-serialization of every suffix's full graph list.
+	useCache := cfg.Cache != nil && cfg.Method != FPIdeal
+	if useCache {
+		a.digests[n] = ""
+		for j := n - 1; j >= 0; j-- {
+			a.digests[j] = cache.SuffixDigest(a.graphs[j], a.digests[j+1])
 		}
 	}
 
-	// Structural quantities read on every fixed-point iteration,
-	// and the graph list whose suffixes are the lower-priority sets.
-	// vol/L are O(graph) — computing them here is as cheap as any
-	// cache lookup, so they are deliberately not memoized.
-	vols := make([]int64, n)
-	longs := make([]int64, n)
-	graphs := make([]*dag.Graph, n)
-	for i, t := range ts.Tasks {
-		vols[i], longs[i] = t.G.Volume(), t.G.LongestPath()
-		graphs[i] = t.G
-	}
-
 	// Response-time bounds of already-analyzed higher-priority tasks,
-	// scaled by m.
-	rm := make([]int64, n)
+	// scaled by m, accumulate in a.rm.
 
 	for k := 0; k < n; k++ {
 		task := ts.Tasks[k]
 		tr := &res.Tasks[k]
-		tr.Name = task.Name
+		*tr = TaskResult{Name: task.Name}
 		if !res.Schedulable {
 			// A higher-priority task already failed; W_i would need its
 			// (nonexistent) response bound.
@@ -229,32 +431,20 @@ func Analyze(ts *model.TaskSet, cfg Config) (*Result, error) {
 		}
 		tr.Analyzed = true
 
-		l := longs[k]
-		vol := vols[k]
+		l := a.longs[k]
+		vol := a.vols[k]
 		dm := m64 * task.Deadline
 
 		// Lower-priority blocking terms (independent of the window).
-		switch cfg.Method {
-		case FPIdeal:
-			// no blocking
-		case LPMax:
+		if cfg.Method != FPIdeal {
 			var in blocking.Interference
-			if cfg.Cache != nil {
-				in = cfg.Cache.InterferenceLPMax(graphs[k+1:], cfg.M)
+			if useCache {
+				in = cfg.Cache.SuffixInterference(blockingMethod(cfg.Method), cfg.M, cfg.Backend,
+					a.digests[k+1], func() blocking.Interference { return a.demandSuffix(k) })
 			} else {
-				in = blocking.Compute(graphs[k+1:], cfg.M, blocking.LPMax, cfg.Backend)
+				in = a.demandSuffix(k)
 			}
 			tr.DeltaM, tr.DeltaM1 = in.DeltaM, in.DeltaM1
-		case LPILP:
-			var in blocking.Interference
-			if cfg.Cache != nil {
-				in = cfg.Cache.InterferenceLPILP(graphs[k+1:], cfg.M, cfg.Backend)
-			} else {
-				in = blocking.ComputeFromMus(mus[k+1:], cfg.M, cfg.Backend)
-			}
-			tr.DeltaM, tr.DeltaM1 = in.DeltaM, in.DeltaM1
-		default:
-			return nil, fmt.Errorf("rta: unknown method %v", cfg.Method)
 		}
 
 		// Final-NPR refinement (future-work (ii)): iterate on the start
@@ -276,18 +466,18 @@ func Analyze(ts *model.TaskSet, cfg Config) (*Result, error) {
 		cur := base
 		q := int64(task.G.PreemptionPoints())
 		converged := false
-		for it := 1; it <= maxIter; it++ {
+		for it := 1; it <= a.maxIter; it++ {
 			tr.Iterations = it
 			ihp := int64(0)
 			hk := int64(0)
 			for i := 0; i < k; i++ {
-				ihp += carryInWorkload(cur, rm[i], vols[i], ts.Tasks[i].Period, m64)
+				ihp += carryInWorkload(cur, a.rm[i], a.vols[i], ts.Tasks[i].Period, m64)
 				ti := m64 * ts.Tasks[i].Period
 				hk += (cur + ti - 1) / ti // ⌈S/T_i⌉ in scaled form
 			}
 			pk := q
-			if !cfg.DonationSafeBlocking && hk < pk {
-				pk = hk
+			if !cfg.DonationSafeBlocking {
+				pk = min(pk, hk)
 			}
 			ilp := int64(0)
 			if cfg.Method != FPIdeal {
@@ -314,7 +504,7 @@ func Analyze(ts *model.TaskSet, cfg Config) (*Result, error) {
 		if !tr.Schedulable {
 			res.Schedulable = false
 		}
-		rm[k] = tr.ResponseTimeM
+		a.rm[k] = tr.ResponseTimeM
 	}
 	return res, nil
 }
@@ -327,13 +517,5 @@ func carryInWorkload(windowM, rmI, vol, taskPeriod, m64 int64) int64 {
 		return 0
 	}
 	period := m64 * taskPeriod
-	w := (x/period)*vol + minInt64(vol, x%period)
-	return w
-}
-
-func minInt64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
+	return (x/period)*vol + min(vol, x%period)
 }

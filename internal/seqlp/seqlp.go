@@ -139,14 +139,11 @@ func Analyze(tasks []*Task, m int) (*Result, error) {
 				hp := tasks[i]
 				x := cur + resp[i] - hp.C()
 				if x > 0 {
-					ihp += (x/hp.Period)*hp.C() + minInt64(hp.C(), x%hp.Period)
+					ihp += (x/hp.Period)*hp.C() + min(hp.C(), x%hp.Period)
 				}
 				hk += (cur + hp.Period - 1) / hp.Period
 			}
-			pk := q
-			if hk < pk {
-				pk = hk
-			}
+			pk := min(q, hk)
 			tr.Preemptions = pk
 			next := c + (tr.DeltaM+pk*tr.DeltaM1+ihp)/m64
 			if next == cur {
@@ -169,19 +166,10 @@ func Analyze(tasks []*Task, m int) (*Result, error) {
 }
 
 func sumTop(sortedDesc []int64, n int) int64 {
-	if n > len(sortedDesc) {
-		n = len(sortedDesc)
-	}
+	n = min(n, len(sortedDesc))
 	var s int64
 	for i := 0; i < n; i++ {
 		s += sortedDesc[i]
 	}
 	return s
-}
-
-func minInt64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }
