@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/blocking"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fixture"
 	"repro/internal/ilp"
@@ -121,7 +122,7 @@ func benchAnalysisRuntime(b *testing.B, m int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := a.Analyze(ts); err != nil {
+		if _, err := a.Analyze(context.Background(), ts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -197,7 +198,7 @@ func BenchmarkEndToEndLPILP(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := a.Analyze(ts); err != nil {
+		if _, err := a.Analyze(context.Background(), ts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -264,7 +265,7 @@ func BenchmarkCriticalScaling(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := a.CriticalScaling(ts, 20000); err != nil {
+		if _, err := a.CriticalScaling(context.Background(), ts, 20000); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -284,13 +285,13 @@ func BenchmarkAnalyzePoint(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := a.AnalyzeInPlace(ts); err != nil { // warm the µ memo
+	if _, err := a.AnalyzeInPlace(context.Background(), ts); err != nil { // warm the µ memo
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := a.AnalyzeInPlace(ts); err != nil {
+		if _, err := a.AnalyzeInPlace(context.Background(), ts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -399,3 +400,110 @@ func BenchmarkSweepSerial(b *testing.B) { benchCampaignSweep(b, 1) }
 // campaign's points are independent, so it should approach 8× on ≥ 8
 // free cores).
 func BenchmarkSweepParallel(b *testing.B) { benchCampaignSweep(b, 8) }
+
+// sessionBenchTasks builds the 16-task what-if workload of
+// BenchmarkSessionEdit: a generated mixed-population set at low
+// utilization (so every task is analyzed — no early-failure
+// short-circuit flatters the numbers), with the tasks at priorities 2
+// and 3 being two instances of the same program (same graph, deadline
+// and period — the common real-system shape of replicated components),
+// the pair the edit benchmark flips.
+func sessionBenchTasks(b *testing.B) []*Task {
+	b.Helper()
+	g := NewGenerator(1234, PaperGenParams(GroupMixed))
+	ts := g.TaskSetN(16, 2.0)
+	if len(ts.Tasks) != 16 {
+		b.Fatalf("generator produced %d tasks", len(ts.Tasks))
+	}
+	twin := ts.Tasks[2]
+	ts.Tasks[3] = &Task{Name: twin.Name + "-b", G: twin.G,
+		Deadline: twin.Deadline, Period: twin.Period}
+	return ts.Tasks
+}
+
+// BenchmarkSessionEdit measures the session's per-edit cost: one
+// SetPriority edit (flipping the order of the two same-program
+// instances at priorities 2 and 3) followed by Report on a 16-task
+// LP-ILP session. The incremental analyzer restores the
+// suffix-aggregate checkpoint below the edit, and — because the fixed
+// point reads higher-priority state only as positional (volume,
+// period, response bound) values, never task identity — detects that
+// the edit's numeric effect dies out immediately and reuses every
+// fixed point below it. This must come in well under
+// BenchmarkSessionEditFullReanalysis — the acceptance gate is < 25%
+// (tracked in BENCH_analyze.json).
+func BenchmarkSessionEdit(b *testing.B) {
+	tasks := sessionBenchTasks(b)
+	s, err := NewSession(Options{Cores: 8, Method: LPILP}, tasks...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Report(ctx); err != nil { // warm the incremental state
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.SetPriority(2, 3); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Report(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionEditFullReanalysis is the stateless baseline for
+// BenchmarkSessionEdit: the same alternating edit answered by a full
+// AnalyzeInPlace on a warm (pooled-style) rta.Analyzer plus the Report
+// conversion — exactly what a what-if question cost before the session
+// API (both sides of the comparison end with a *Report in hand).
+func BenchmarkSessionEditFullReanalysis(b *testing.B) {
+	tasks := sessionBenchTasks(b)
+	a, err := rta.NewAnalyzer(rta.Config{M: 8, Method: rta.LPILP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	cur := append([]*Task(nil), tasks...)
+	ts := &TaskSet{Tasks: cur}
+	if _, err := a.AnalyzeInPlace(ctx, ts); err != nil { // warm the µ memo
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur[2], cur[3] = cur[3], cur[2]
+		res, err := a.AnalyzeInPlace(ctx, ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep := core.ReportOf(res, ts); !rep.Schedulable {
+			b.Fatal("benchmark set must stay schedulable")
+		}
+	}
+}
+
+// BenchmarkSessionAdmitProbe measures the admission-control hot path:
+// TryAdmit of a fresh task at the lowest priority on the same 16-task
+// session (analyze-without-commit).
+func BenchmarkSessionAdmitProbe(b *testing.B) {
+	tasks := sessionBenchTasks(b)
+	s, err := NewSession(Options{Cores: 8, Method: LPILP}, tasks...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Report(ctx); err != nil {
+		b.Fatal(err)
+	}
+	probe := &Task{Name: "probe", G: tasks[5].G, Deadline: tasks[5].Deadline, Period: tasks[5].Period}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TryAdmit(ctx, probe, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

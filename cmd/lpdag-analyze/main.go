@@ -5,20 +5,44 @@
 //
 //	lpdag-gen -u 2 | lpdag-analyze -m 4 -method lp-ilp
 //	lpdag-analyze -m 8 -compare -f taskset.json
+//	lpdag-analyze -session -f taskset.json
 //
-// Exit status: 0 when (all requested analyses say) schedulable, 1 when
+// With -session the command becomes an interactive what-if shell over a
+// stateful analysis session: edits re-analyze incrementally, so each
+// question costs what it touched, not a full re-analysis. Commands
+// (one per line; `help` prints this list):
+//
+//	report                      print the current analysis report
+//	tasks                       list tasks in priority order
+//	add [at] {task json}        insert a task (at = priority index, default lowest)
+//	admit [at] {task json}      admission probe: analyze without committing
+//	rm <index|name>             remove a task
+//	move <from> <to>            change a task's priority
+//	cores <m>                   change the core count
+//	method <fp-ideal|lp-ilp|lp-max>
+//	sensitivity <index|name>    per-task WCET headroom (permille)
+//	save <file>                 write the current set as JSON
+//	quit
+//
+// Exit status: 0 when (all requested analyses say) schedulable — in
+// session mode, when the final committed set is schedulable — 1 when
 // not, 2 on usage or input errors.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/model"
-	"repro/internal/rta"
+	"repro/internal/session"
 )
 
 func main() {
@@ -34,46 +58,56 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		backend = fs.String("backend", "combinatorial", "LP-ILP solver: combinatorial | paper-ilp")
 		compare = fs.Bool("compare", false, "run all three methods and print all reports")
 		refine  = fs.Bool("final-npr", false, "enable the final-NPR refinement (future-work (ii))")
-		in      = fs.String("f", "", "input task-set JSON (default stdin)")
+		repl    = fs.Bool("session", false, "interactive what-if shell (reads commands from stdin)")
+		in      = fs.String("f", "", "input task-set JSON (default stdin; optional with -session)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	r := stdin
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
-			return 2
-		}
-		defer f.Close()
-		r = f
-	}
-	ts, err := model.ReadJSON(r)
+	meth, err := engine.ParseMethod(*method)
 	if err != nil {
 		fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
 		return 2
 	}
-
-	var be core.Backend
-	switch *backend {
-	case "combinatorial":
-		be = core.Combinatorial
-	case "paper-ilp":
-		be = core.PaperILP
-	default:
-		fmt.Fprintf(stderr, "lpdag-analyze: unknown backend %q\n", *backend)
+	be, err := engine.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
 		return 2
+	}
+	opts := core.Options{Cores: *m, Method: meth, Backend: be, FinalNPRRefinement: *refine}
+
+	// In session mode stdin carries commands, so the task set (if any)
+	// must come from -f.
+	var ts *model.TaskSet
+	if !*repl || *in != "" {
+		r := stdin
+		if *in != "" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
+				return 2
+			}
+			defer f.Close()
+			r = f
+		}
+		if ts, err = model.ReadJSON(r); err != nil {
+			fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
+			return 2
+		}
+	}
+
+	if *repl {
+		return runSession(opts, ts, stdin, stdout, stderr)
 	}
 
 	if *compare {
-		a, err := core.New(core.Options{Cores: *m, Method: core.FPIdeal, Backend: be})
+		a, err := core.New(opts)
 		if err != nil {
 			fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
 			return 2
 		}
-		reps, err := a.CompareMethods(ts)
+		reps, err := a.CompareMethods(context.Background(), ts)
 		if err != nil {
 			fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
 			return 2
@@ -88,51 +122,220 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return exit
 	}
 
-	var meth core.Method
-	switch *method {
-	case "fp-ideal":
-		meth = core.FPIdeal
-	case "lp-ilp":
-		meth = core.LPILP
-	case "lp-max":
-		meth = core.LPMax
-	default:
-		fmt.Fprintf(stderr, "lpdag-analyze: unknown method %q\n", *method)
-		return 2
-	}
-	// The refinement flag needs the rta-level config, so go one level
-	// below the core facade here.
-	res, err := rta.Analyze(ts, rta.Config{
-		M: *m, Method: meth, Backend: be, FinalNPRRefinement: *refine,
-	})
+	a, err := core.New(opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
 		return 2
 	}
-	verdict := "SCHEDULABLE"
-	if !res.Schedulable {
-		verdict = "NOT SCHEDULABLE"
+	rep, err := a.Analyze(context.Background(), ts)
+	if err != nil {
+		fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
+		return 2
 	}
-	fmt.Fprintf(stdout, "%s on m=%d cores (U=%.3f): %s\n", meth, *m, ts.Utilization(), verdict)
-	fmt.Fprintf(stdout, "%-12s %10s %10s %8s %8s %6s %s\n",
-		"task", "R(ub)", "D", "Dm", "Dm-1", "p", "verdict")
-	for i, tr := range res.Tasks {
-		status := "ok"
-		switch {
-		case !tr.Analyzed:
-			status = "skipped"
-		case !tr.Schedulable:
-			status = "MISS"
-		}
-		rStr := "-"
-		if tr.Analyzed {
-			rStr = fmt.Sprintf("%d", tr.ResponseTimeCeil(*m))
-		}
-		fmt.Fprintf(stdout, "%-12s %10s %10d %8d %8d %6d %s\n",
-			tr.Name, rStr, ts.Tasks[i].Deadline, tr.DeltaM, tr.DeltaM1, tr.Preemptions, status)
-	}
-	if !res.Schedulable {
+	fmt.Fprint(stdout, rep)
+	if !rep.Schedulable {
 		return 1
 	}
 	return 0
+}
+
+// runSession is the -session REPL loop.
+func runSession(opts core.Options, ts *model.TaskSet, stdin io.Reader, stdout, stderr io.Writer) int {
+	var tasks []*model.Task
+	if ts != nil {
+		tasks = ts.Tasks
+	}
+	sess, err := session.New(opts, tasks...)
+	if err != nil {
+		fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
+		return 2
+	}
+	ctx := context.Background()
+	fmt.Fprintf(stdout, "session: %d tasks, m=%d, %v (type `help` for commands)\n",
+		sess.Len(), opts.Cores, opts.Method)
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch cmd {
+		case "quit", "exit":
+			return sessionExit(ctx, sess, stderr)
+		case "help":
+			fmt.Fprint(stdout, sessionHelp)
+		case "report":
+			if rep, err := sess.Report(ctx); err != nil {
+				fmt.Fprintf(stderr, "error: %v\n", err)
+			} else {
+				fmt.Fprint(stdout, rep)
+			}
+		case "tasks":
+			for i, t := range sess.Tasks() {
+				fmt.Fprintf(stdout, "%3d  %-12s vol=%-6d L=%-6d D=%-6d T=%d\n",
+					i, t.Name, t.G.Volume(), t.G.LongestPath(), t.Deadline, t.Period)
+			}
+		case "add", "admit":
+			at, taskJSON := splitAtArg(rest)
+			t := new(model.Task)
+			if err := t.UnmarshalJSON([]byte(taskJSON)); err != nil {
+				fmt.Fprintf(stderr, "error: %v\n", err)
+				continue
+			}
+			if cmd == "admit" {
+				rep, err := sess.TryAdmit(ctx, t, at)
+				if err != nil {
+					fmt.Fprintf(stderr, "error: %v\n", err)
+					continue
+				}
+				verdict := "ADMIT"
+				if !rep.Schedulable {
+					verdict = "REJECT"
+				}
+				fmt.Fprintf(stdout, "%s %q\n%s", verdict, t.Name, rep)
+				continue
+			}
+			if err := sess.AddTask(t, at); err != nil {
+				fmt.Fprintf(stderr, "error: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(stdout, "added %q at priority %d\n", t.Name, sess.TaskIndex(t.Name))
+		case "rm":
+			i, ok := resolveTask(sess, rest, stderr)
+			if !ok {
+				continue
+			}
+			t, err := sess.RemoveTask(i)
+			if err != nil {
+				fmt.Fprintf(stderr, "error: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(stdout, "removed %q\n", t.Name)
+		case "move":
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				fmt.Fprintf(stderr, "error: usage: move <from> <to>\n")
+				continue
+			}
+			from, err1 := strconv.Atoi(parts[0])
+			to, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				fmt.Fprintf(stderr, "error: usage: move <from> <to>\n")
+				continue
+			}
+			if err := sess.SetPriority(from, to); err != nil {
+				fmt.Fprintf(stderr, "error: %v\n", err)
+			}
+		case "cores":
+			mv, err := strconv.Atoi(rest)
+			if err != nil {
+				fmt.Fprintf(stderr, "error: usage: cores <m>\n")
+				continue
+			}
+			if err := sess.SetCores(mv); err != nil {
+				fmt.Fprintf(stderr, "error: %v\n", err)
+			}
+		case "method":
+			meth, err := engine.ParseMethod(rest)
+			if err != nil {
+				fmt.Fprintf(stderr, "error: %v\n", err)
+				continue
+			}
+			if err := sess.SetMethod(meth); err != nil {
+				fmt.Fprintf(stderr, "error: %v\n", err)
+			}
+		case "sensitivity":
+			i, ok := resolveTask(sess, rest, stderr)
+			if !ok {
+				continue
+			}
+			permille, err := sess.Sensitivity(ctx, i, 100_000)
+			if err != nil {
+				fmt.Fprintf(stderr, "error: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(stdout, "task %d sustains WCET × %d.%03d\n", i, permille/1000, permille%1000)
+		case "save":
+			if rest == "" {
+				fmt.Fprintf(stderr, "error: usage: save <file>\n")
+				continue
+			}
+			f, err := os.Create(rest)
+			if err != nil {
+				fmt.Fprintf(stderr, "error: %v\n", err)
+				continue
+			}
+			set := &model.TaskSet{Tasks: sess.Tasks()}
+			if err := set.WriteJSON(f); err != nil {
+				fmt.Fprintf(stderr, "error: %v\n", err)
+			}
+			f.Close()
+		default:
+			fmt.Fprintf(stderr, "error: unknown command %q (type `help`)\n", cmd)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
+		return 2
+	}
+	return sessionExit(ctx, sess, stderr)
+}
+
+const sessionHelp = `commands:
+  report                     print the current analysis report
+  tasks                      list tasks in priority order
+  add [at] {task json}       insert a task (at = priority index, default lowest)
+  admit [at] {task json}     admission probe: analyze without committing
+  rm <index|name>            remove a task
+  move <from> <to>           change a task's priority
+  cores <m>                  change the core count
+  method <fp-ideal|lp-ilp|lp-max>
+  sensitivity <index|name>   per-task WCET headroom (permille)
+  save <file>                write the current set as JSON
+  quit
+`
+
+// sessionExit computes the final verdict for the exit status.
+func sessionExit(ctx context.Context, sess *session.Session, stderr io.Writer) int {
+	rep, err := sess.Report(ctx)
+	if err != nil {
+		fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
+		return 2
+	}
+	if !rep.Schedulable {
+		return 1
+	}
+	return 0
+}
+
+// splitAtArg splits an optional leading priority index off a task-JSON
+// argument: "3 {...}" → (3, "{...}"), "{...}" → (-1, "{...}").
+func splitAtArg(rest string) (int, string) {
+	head, tail, ok := strings.Cut(rest, " ")
+	if ok {
+		if at, err := strconv.Atoi(head); err == nil {
+			return at, strings.TrimSpace(tail)
+		}
+	}
+	return -1, rest
+}
+
+// resolveTask parses a task reference (priority index or name).
+func resolveTask(sess *session.Session, ref string, stderr io.Writer) (int, bool) {
+	if ref == "" {
+		fmt.Fprintf(stderr, "error: missing task index or name\n")
+		return 0, false
+	}
+	if i, err := strconv.Atoi(ref); err == nil {
+		return i, true
+	}
+	i := sess.TaskIndex(ref)
+	if i < 0 {
+		fmt.Fprintf(stderr, "error: unknown task %q\n", ref)
+		return 0, false
+	}
+	return i, true
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -88,4 +90,88 @@ func TestAnalyzePaperILPBackend(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d", code)
 	}
+}
+
+// TestSessionREPL drives the -session shell with a scripted what-if
+// dialogue: report, admission probe (no commit), commit, reprioritize,
+// sensitivity, remove.
+func TestSessionREPL(t *testing.T) {
+	f := writeTemp(t, schedulableSet)
+	script := strings.Join([]string{
+		`report`,
+		`tasks`,
+		`admit {"name":"new","wcet":[5],"edges":[],"deadline":60,"period":60}`,
+		`tasks`,
+		`add 0 {"name":"new","wcet":[5],"edges":[],"deadline":60,"period":60}`,
+		`move 0 2`,
+		`sensitivity new`,
+		`rm new`,
+		`cores 4`,
+		`report`,
+		`quit`,
+	}, "\n") + "\n"
+	var out, errb bytes.Buffer
+	code := run([]string{"-m", "2", "-session", "-f", f}, strings.NewReader(script), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{
+		"session: 2 tasks",
+		"SCHEDULABLE",
+		`ADMIT "new"`,
+		`added "new" at priority 0`,
+		"sustains WCET",
+		`removed "new"`,
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\nstdout: %s\nstderr: %s", want, out.String(), errb.String())
+		}
+	}
+	// The admit probe must not commit: between `admit` and `add` the
+	// session still lists 2 tasks (the second `tasks` dump).
+	if strings.Count(out.String(), "new") < 3 {
+		t.Errorf("expected new task to appear in later output:\n%s", out.String())
+	}
+}
+
+// TestSessionREPLUnschedulableExit pins the exit status on a doomed
+// final set.
+func TestSessionREPLUnschedulableExit(t *testing.T) {
+	f := writeTemp(t, doomedSet)
+	var out, errb bytes.Buffer
+	code := run([]string{"-m", "2", "-session", "-f", f}, strings.NewReader("quit\n"), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+}
+
+// TestSessionREPLBadCommandKeepsGoing pins that errors are reported and
+// the shell continues.
+func TestSessionREPLBadCommandKeepsGoing(t *testing.T) {
+	f := writeTemp(t, schedulableSet)
+	script := "bogus\nmove 9 0\nreport\nquit\n"
+	var out, errb bytes.Buffer
+	code := run([]string{"-m", "2", "-session", "-f", f}, strings.NewReader(script), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errb.String(), `unknown command "bogus"`) {
+		t.Errorf("missing unknown-command error: %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "invalid from: 9") {
+		t.Errorf("missing move error: %s", errb.String())
+	}
+	if !strings.Contains(out.String(), "SCHEDULABLE") {
+		t.Errorf("report after errors missing: %s", out.String())
+	}
+}
+
+// writeTemp writes content to a temp file and returns its path.
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	f := filepath.Join(t.TempDir(), "set.json")
+	if err := os.WriteFile(f, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return f
 }

@@ -19,6 +19,17 @@
 //	                   SIGTERM drain begins) with worker load
 //	GET  /stats        engine + cache + worker counters
 //
+// Stateful what-if / admission-control sessions (each holds a task set
+// server-side and re-analyzes incrementally per edit; see DESIGN.md,
+// "Sessions"):
+//
+//	POST   /v1/sessions                   create (taskset + options) → id
+//	GET    /v1/sessions/{id}/report       current report
+//	POST   /v1/sessions/{id}/edits        apply an edit batch → report
+//	POST   /v1/sessions/{id}/admit        admission probe, no commit
+//	POST   /v1/sessions/{id}/sensitivity  per-task WCET headroom
+//	DELETE /v1/sessions/{id}              drop the session
+//
 // Example:
 //
 //	curl -s localhost:8080/v1/analyze -d '{
@@ -74,6 +85,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		inFlight  = fs.Int("max-inflight", engine.DefaultMaxInFlight, "concurrent HTTP requests before shedding 503s")
 		maxBatch  = fs.Int("max-batch", engine.DefaultMaxBatch, "task sets per analyze batch")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+
+		// Stateful analysis sessions (/v1/sessions).
+		maxSessions = fs.Int("max-sessions", engine.DefaultMaxSessions, "live analysis sessions before creates shed 503s")
+		sessionTTL  = fs.Duration("session-ttl", engine.DefaultSessionTTL, "evict sessions untouched this long (negative = never)")
 
 		// Cluster worker mode: the node serves POST /v1/shard leases from
 		// a campaign coordinator (lpdag-experiments -cluster).
@@ -134,6 +149,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// gauges, and /healthz flips to "draining" when shutdown begins.
 	engSrv := engine.NewServer(eng, engine.ServerConfig{
 		MaxBodyBytes: *maxBody, MaxInFlight: *inFlight, MaxBatch: *maxBatch,
+		MaxSessions: *maxSessions, SessionTTL: *sessionTTL,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/v1/campaign", experiments.CampaignHandler(eng))

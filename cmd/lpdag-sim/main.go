@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -85,7 +86,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "lpdag-sim: %v\n", err)
 			return 2
 		}
-		rep, err := a.Analyze(ts)
+		rep, err := a.Analyze(context.Background(), ts)
 		if err != nil {
 			fmt.Fprintf(stderr, "lpdag-sim: %v\n", err)
 			return 2

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		alpha, err := a.CriticalScaling(ts, 50_000)
+		alpha, err := a.CriticalScaling(context.Background(), ts, 50_000)
 		if err != nil {
 			log.Fatal(err)
 		}

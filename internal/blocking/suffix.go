@@ -140,6 +140,48 @@ func (a *SuffixAggregator) Interference() Interference {
 	return Interference{}
 }
 
+// SuffixCheckpoint is a saved SuffixAggregator state: the full aggregate
+// after some number of pushes. Saving after every push of a bottom-up
+// priority scan gives the incremental analyzer (rta.AnalyzeIncremental) a
+// restart point for any edit position — editing priority k leaves the
+// suffix below it untouched, so the scan resumes from the checkpoint
+// taken after the unchanged tail was pushed instead of replaying it.
+// A checkpoint is O(m) int64s; it is only valid for the (m, method,
+// backend) parameterisation it was saved under, which the owning
+// analyzer guards.
+type SuffixCheckpoint struct {
+	topMVals  []int64
+	topMSum   int64
+	topM1Vals []int64
+	topM1Sum  int64
+	dpM       []int64
+	dpM1      []int64
+}
+
+// Save copies the aggregator's state into c, reusing c's buffers
+// (allocation-free once they have grown).
+func (a *SuffixAggregator) Save(c *SuffixCheckpoint) {
+	c.topMVals = append(c.topMVals[:0], a.topM.vals...)
+	c.topMSum = a.topM.sum
+	c.topM1Vals = append(c.topM1Vals[:0], a.topM1.vals...)
+	c.topM1Sum = a.topM1.sum
+	c.dpM = append(c.dpM[:0], a.dpM...)
+	c.dpM1 = append(c.dpM1[:0], a.dpM1...)
+}
+
+// Restore rewinds the aggregator to a previously saved state. The
+// checkpoint must have been saved by this aggregator (or one with the
+// same m/method/backend parameterisation) — Restore does not
+// re-parameterise.
+func (a *SuffixAggregator) Restore(c *SuffixCheckpoint) {
+	a.topM.vals = append(a.topM.vals[:0], c.topMVals...)
+	a.topM.sum = c.topMSum
+	a.topM1.vals = append(a.topM1.vals[:0], c.topM1Vals...)
+	a.topM1.sum = c.topM1Sum
+	a.dpM = append(a.dpM[:0], c.dpM...)
+	a.dpM1 = append(a.dpM1[:0], c.dpM1...)
+}
+
 // topHeap keeps the k largest values pushed so far in a min-heap with a
 // running sum; adds beyond capacity displace the smallest kept value.
 type topHeap struct {

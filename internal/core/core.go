@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -51,6 +52,15 @@ type Options struct {
 	Method  Method  // analysis variant; default FPIdeal
 	Backend Backend // LP-ILP solver; default Combinatorial
 
+	// FinalNPRRefinement enables the paper's future-work item (ii):
+	// for single-sink tasks, interference is accounted only until the
+	// start of the non-preemptable final region, so the refined bound
+	// never exceeds the plain one. This used to require dropping to the
+	// rta layer (the old AnalyzeRefined returned an rta.Result); folding
+	// it into Options keeps every analysis path returning one Report
+	// shape. Ignored for FPIdeal.
+	FinalNPRRefinement bool
+
 	// Cache, when non-nil, memoizes content-addressed derived
 	// quantities (µ tables, top-NPR lists, Δ terms) across analyses.
 	// Share one cache between analyzers to make repeated analyses of
@@ -69,20 +79,29 @@ type Analyzer struct {
 	pool sync.Pool // of *rta.Analyzer
 }
 
-// New validates the options and returns an Analyzer.
-func New(opts Options) (*Analyzer, error) {
+// ValidateOptions checks opts, naming the offending field and value the
+// same way on every path (see TestOptionsValidationErrors).
+func ValidateOptions(opts Options) error {
 	if opts.Cores < 1 {
-		return nil, fmt.Errorf("core: Cores must be ≥ 1, got %d", opts.Cores)
+		return fmt.Errorf("core: invalid Options.Cores: %d (must be ≥ 1)", opts.Cores)
 	}
 	switch opts.Method {
 	case FPIdeal, LPMax, LPILP:
 	default:
-		return nil, fmt.Errorf("core: unknown method %v", opts.Method)
+		return fmt.Errorf("core: invalid Options.Method: %v", opts.Method)
 	}
 	switch opts.Backend {
 	case Combinatorial, PaperILP:
 	default:
-		return nil, fmt.Errorf("core: unknown backend %v", opts.Backend)
+		return fmt.Errorf("core: invalid Options.Backend: %v", opts.Backend)
+	}
+	return nil
+}
+
+// New validates the options and returns an Analyzer.
+func New(opts Options) (*Analyzer, error) {
+	if err := ValidateOptions(opts); err != nil {
+		return nil, err
 	}
 	a := &Analyzer{opts: opts}
 	a.pool.New = func() any {
@@ -97,11 +116,18 @@ func New(opts Options) (*Analyzer, error) {
 
 // rtaConfig maps the options onto the rta layer.
 func (a *Analyzer) rtaConfig() rta.Config {
+	return RTAConfig(a.opts)
+}
+
+// RTAConfig maps validated Options onto the rta layer's Config — the
+// one mapping every path (Analyzer pools, sessions) shares.
+func RTAConfig(opts Options) rta.Config {
 	return rta.Config{
-		M:       a.opts.Cores,
-		Method:  a.opts.Method,
-		Backend: a.opts.Backend,
-		Cache:   a.opts.Cache,
+		M:                  opts.Cores,
+		Method:             opts.Method,
+		Backend:            opts.Backend,
+		FinalNPRRefinement: opts.FinalNPRRefinement,
+		Cache:              opts.Cache,
 	}
 }
 
@@ -145,18 +171,26 @@ type Report struct {
 	Tasks       []TaskReport
 }
 
-// Analyze runs the analysis on the task set.
-func (a *Analyzer) Analyze(ts *model.TaskSet) (*Report, error) {
+// Analyze runs the analysis on the task set. The context cancels long
+// solves (it is observed between tasks and between fixed-point chunks).
+func (a *Analyzer) Analyze(ctx context.Context, ts *model.TaskSet) (*Report, error) {
 	ra := a.pool.Get().(*rta.Analyzer)
 	defer a.pool.Put(ra)
-	res, err := ra.AnalyzeInPlace(ts)
+	res, err := ra.AnalyzeInPlace(ctx, ts)
 	if err != nil {
 		return nil, err
 	}
+	return ReportOf(res, ts), nil
+}
+
+// ReportOf converts an rta-layer Result into the public Report shape —
+// the single conversion every analysis path (one-shot, pooled, session)
+// goes through, so there is exactly one Report schema on the wire.
+func ReportOf(res *rta.Result, ts *model.TaskSet) *Report {
 	rep := &Report{
 		Schedulable: res.Schedulable,
-		Method:      a.opts.Method,
-		Cores:       a.opts.Cores,
+		Method:      res.Method,
+		Cores:       res.M,
 		Utilization: ts.Utilization(),
 		Tasks:       make([]TaskReport, len(res.Tasks)),
 	}
@@ -165,7 +199,7 @@ func (a *Analyzer) Analyze(ts *model.TaskSet) (*Report, error) {
 			Name:          tr.Name,
 			Schedulable:   tr.Schedulable,
 			Analyzed:      tr.Analyzed,
-			ResponseTime:  tr.ResponseTimeCeil(a.opts.Cores),
+			ResponseTime:  tr.ResponseTimeCeil(res.M),
 			ResponseTimeM: tr.ResponseTimeM,
 			Deadline:      ts.Tasks[i].Deadline,
 			DeltaM:        tr.DeltaM,
@@ -174,16 +208,16 @@ func (a *Analyzer) Analyze(ts *model.TaskSet) (*Report, error) {
 			Iterations:    tr.Iterations,
 		}
 	}
-	return rep, nil
+	return rep
 }
 
 // Schedulable is a convenience wrapper returning only the verdict. It
 // skips the Report entirely, so a pooled warm analyzer answers it
 // without heap allocation.
-func (a *Analyzer) Schedulable(ts *model.TaskSet) (bool, error) {
+func (a *Analyzer) Schedulable(ctx context.Context, ts *model.TaskSet) (bool, error) {
 	ra := a.pool.Get().(*rta.Analyzer)
 	defer a.pool.Put(ra)
-	res, err := ra.AnalyzeInPlace(ts)
+	res, err := ra.AnalyzeInPlace(ctx, ts)
 	if err != nil {
 		return false, err
 	}
@@ -195,12 +229,12 @@ func (a *Analyzer) Schedulable(ts *model.TaskSet) (bool, error) {
 // across the whole batch. This is the batch entry point the engine pool
 // and the experiment campaigns drive: a sweep worker analyzing
 // SetsPerPoint sets back to back pays the analyzer setup once.
-func (a *Analyzer) ScheduleBatch(sets []*model.TaskSet) ([]bool, error) {
+func (a *Analyzer) ScheduleBatch(ctx context.Context, sets []*model.TaskSet) ([]bool, error) {
 	ra := a.pool.Get().(*rta.Analyzer)
 	defer a.pool.Put(ra)
 	out := make([]bool, len(sets))
 	for i, ts := range sets {
-		res, err := ra.AnalyzeInPlace(ts)
+		res, err := ra.AnalyzeInPlace(ctx, ts)
 		if err != nil {
 			return nil, fmt.Errorf("core: set %d: %w", i, err)
 		}
@@ -240,14 +274,16 @@ func (r *Report) String() string {
 // CompareMethods analyzes the set with every method at the analyzer's
 // core count (the analyzer's own Method is ignored) and returns the
 // reports keyed by method.
-func (a *Analyzer) CompareMethods(ts *model.TaskSet) (map[Method]*Report, error) {
+func (a *Analyzer) CompareMethods(ctx context.Context, ts *model.TaskSet) (map[Method]*Report, error) {
 	out := make(map[Method]*Report, 3)
 	for _, m := range Methods() {
-		sub, err := New(Options{Cores: a.opts.Cores, Method: m, Backend: a.opts.Backend, Cache: a.opts.Cache})
+		opts := a.opts
+		opts.Method = m
+		sub, err := New(opts)
 		if err != nil {
 			return nil, err
 		}
-		rep, err := sub.Analyze(ts)
+		rep, err := sub.Analyze(ctx, ts)
 		if err != nil {
 			return nil, err
 		}

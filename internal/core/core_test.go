@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestMustNewPanics(t *testing.T) {
 func TestAnalyzeFixture(t *testing.T) {
 	ts := fixture.TaskSet()
 	a := MustNew(Options{Cores: fixture.M, Method: LPILP})
-	rep, err := a.Analyze(ts)
+	rep, err := a.Analyze(context.Background(), ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestAnalyzeFixture(t *testing.T) {
 	if rep.Utilization <= 0 {
 		t.Error("utilization missing")
 	}
-	ok, err := a.Schedulable(ts)
+	ok, err := a.Schedulable(context.Background(), ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestAnalyzeFixture(t *testing.T) {
 func TestCompareMethodsOrdering(t *testing.T) {
 	ts := fixture.TaskSet()
 	a := MustNew(Options{Cores: fixture.M})
-	reps, err := a.CompareMethods(ts)
+	reps, err := a.CompareMethods(context.Background(), ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestReportString(t *testing.T) {
 	hi := &model.Task{Name: "hi", G: chain(2), Deadline: 40, Period: 40}
 	lo := &model.Task{Name: "lo", G: chain(3, 4), Deadline: 50, Period: 50}
 	ts, _ := model.NewTaskSet(hi, lo)
-	rep, err := MustNew(Options{Cores: 2, Method: LPILP}).Analyze(ts)
+	rep, err := MustNew(Options{Cores: 2, Method: LPILP}).Analyze(context.Background(), ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestReportString(t *testing.T) {
 	bad := &model.Task{Name: "bad", G: chain(90), Deadline: 10, Period: 10}
 	rest := &model.Task{Name: "rest", G: chain(1), Deadline: 99, Period: 99}
 	ts2, _ := model.NewTaskSet(bad, rest)
-	rep2, err := MustNew(Options{Cores: 2, Method: FPIdeal}).Analyze(ts2)
+	rep2, err := MustNew(Options{Cores: 2, Method: FPIdeal}).Analyze(context.Background(), ts2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestReportString(t *testing.T) {
 
 func TestResponseTimeCeilingConsistent(t *testing.T) {
 	ts := fixture.TaskSet()
-	rep, err := MustNew(Options{Cores: fixture.M, Method: LPMax}).Analyze(ts)
+	rep, err := MustNew(Options{Cores: fixture.M, Method: LPMax}).Analyze(context.Background(), ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestCriticalScaling(t *testing.T) {
 	lo := &model.Task{Name: "lo", G: chain(3, 4), Deadline: 200, Period: 200}
 	ts, _ := model.NewTaskSet(hi, lo)
 	a := MustNew(Options{Cores: 2, Method: LPILP})
-	alpha, err := a.CriticalScaling(ts, 100_000)
+	alpha, err := a.CriticalScaling(context.Background(), ts, 100_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,10 +166,10 @@ func TestCriticalScaling(t *testing.T) {
 	}
 	// The verdict must flip exactly at alpha: schedulable at alpha,
 	// unschedulable at alpha+1.
-	if ok, _ := a.scaledSchedulable(ts, alpha); !ok {
+	if ok, _ := a.scaledSchedulable(context.Background(), ts, alpha); !ok {
 		t.Fatalf("claimed factor %d not schedulable", alpha)
 	}
-	if ok, _ := a.scaledSchedulable(ts, alpha+1); ok {
+	if ok, _ := a.scaledSchedulable(context.Background(), ts, alpha+1); ok {
 		t.Fatalf("factor %d+1 still schedulable; bisection stopped early", alpha)
 	}
 }
@@ -177,7 +178,7 @@ func TestCriticalScalingUnschedulableSet(t *testing.T) {
 	bad := &model.Task{Name: "bad", G: chain(90), Deadline: 10, Period: 10}
 	ts, _ := model.NewTaskSet(bad)
 	a := MustNew(Options{Cores: 2, Method: FPIdeal})
-	alpha, err := a.CriticalScaling(ts, 10_000)
+	alpha, err := a.CriticalScaling(context.Background(), ts, 10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestCriticalScalingSaturatesAtMax(t *testing.T) {
 	tiny := &model.Task{Name: "t", G: chain(1), Deadline: 1000000, Period: 1000000}
 	ts, _ := model.NewTaskSet(tiny)
 	a := MustNew(Options{Cores: 4, Method: LPILP})
-	alpha, err := a.CriticalScaling(ts, 5000)
+	alpha, err := a.CriticalScaling(context.Background(), ts, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,10 +203,10 @@ func TestCriticalScalingSaturatesAtMax(t *testing.T) {
 func TestCriticalScalingErrors(t *testing.T) {
 	ts, _ := model.NewTaskSet(&model.Task{Name: "x", G: chain(1), Deadline: 5, Period: 5})
 	a := MustNew(Options{Cores: 1, Method: FPIdeal})
-	if _, err := a.CriticalScaling(ts, 0); err == nil {
+	if _, err := a.CriticalScaling(context.Background(), ts, 0); err == nil {
 		t.Error("maxPermille=0 accepted")
 	}
-	if _, err := a.CriticalScaling(&model.TaskSet{}, 1000); err == nil {
+	if _, err := a.CriticalScaling(context.Background(), &model.TaskSet{}, 1000); err == nil {
 		t.Error("invalid set accepted")
 	}
 }
@@ -219,7 +220,7 @@ func TestCriticalScalingMonotoneAcrossMethods(t *testing.T) {
 	var factors []int
 	for _, meth := range []Method{LPMax, LPILP, FPIdeal} {
 		a := MustNew(Options{Cores: 2, Method: meth})
-		f, err := a.CriticalScaling(ts, 50_000)
+		f, err := a.CriticalScaling(context.Background(), ts, 50_000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,5 +228,33 @@ func TestCriticalScalingMonotoneAcrossMethods(t *testing.T) {
 	}
 	if !(factors[0] <= factors[1] && factors[1] <= factors[2]) {
 		t.Fatalf("factors not ordered LP-max ≤ LP-ILP ≤ FP-ideal: %v", factors)
+	}
+}
+
+// TestOptionsValidationErrors pins the error-message contract of
+// Options validation: every path names the offending field (by its
+// Options spelling, not an internal alias like "m") and the offending
+// value.
+func TestOptionsValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"zero cores", Options{Cores: 0, Method: LPILP}, "invalid Options.Cores: 0"},
+		{"negative cores", Options{Cores: -3, Method: LPILP}, "invalid Options.Cores: -3"},
+		{"bad method", Options{Cores: 4, Method: Method(99)}, "invalid Options.Method: Method(99)"},
+		{"bad backend", Options{Cores: 4, Method: LPILP, Backend: Backend(7)}, "invalid Options.Backend: Backend(7)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.opts)
+			if err == nil {
+				t.Fatalf("New(%+v) succeeded, want error containing %q", tc.opts, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("New(%+v) error = %q, want it to contain %q", tc.opts, err, tc.want)
+			}
+		})
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dag"
@@ -18,14 +19,14 @@ import (
 // over-approximation, so schedulability at α is a sound claim for every
 // real factor ≤ α/1000). Schedulability is monotone in the WCETs, hence
 // in α, which makes bisection exact at permille resolution.
-func (a *Analyzer) CriticalScaling(ts *model.TaskSet, maxPermille int) (int, error) {
+func (a *Analyzer) CriticalScaling(ctx context.Context, ts *model.TaskSet, maxPermille int) (int, error) {
 	if err := ts.Validate(); err != nil {
 		return 0, err
 	}
 	if maxPermille < 1 {
-		return 0, fmt.Errorf("core: maxPermille must be ≥ 1, got %d", maxPermille)
+		return 0, fmt.Errorf("core: invalid maxPermille: %d (must be ≥ 1)", maxPermille)
 	}
-	ok, err := a.scaledSchedulable(ts, 1)
+	ok, err := a.scaledSchedulable(ctx, ts, 1)
 	if err != nil {
 		return 0, err
 	}
@@ -33,7 +34,7 @@ func (a *Analyzer) CriticalScaling(ts *model.TaskSet, maxPermille int) (int, err
 		return 0, nil // not schedulable even at (essentially) zero WCET
 	}
 	lo, hi := 1, maxPermille // invariant: lo schedulable, hi+1 unknown
-	if ok, err = a.scaledSchedulable(ts, maxPermille); err != nil {
+	if ok, err = a.scaledSchedulable(ctx, ts, maxPermille); err != nil {
 		return 0, err
 	} else if ok {
 		return maxPermille, nil
@@ -41,7 +42,7 @@ func (a *Analyzer) CriticalScaling(ts *model.TaskSet, maxPermille int) (int, err
 	// Invariant: schedulable at lo, unschedulable at hi.
 	for hi-lo > 1 {
 		mid := lo + (hi-lo)/2
-		ok, err := a.scaledSchedulable(ts, mid)
+		ok, err := a.scaledSchedulable(ctx, ts, mid)
 		if err != nil {
 			return 0, err
 		}
@@ -54,27 +55,40 @@ func (a *Analyzer) CriticalScaling(ts *model.TaskSet, maxPermille int) (int, err
 	return lo, nil
 }
 
+// ScaleTask returns a copy of the task with every node WCET multiplied
+// by permille/1000, rounded up to keep the scaled system an
+// over-approximation (and floored at 1: a zero-WCET node would change
+// the graph's structure). Shared by the whole-set bisection here and the
+// per-task sensitivity queries of the session API.
+func ScaleTask(t *model.Task, permille int) (*model.Task, error) {
+	var b dag.Builder
+	for v := 0; v < t.G.N(); v++ {
+		c := (t.G.WCET(v)*int64(permille) + 999) / 1000
+		if c < 1 {
+			c = 1
+		}
+		b.AddNode(c)
+	}
+	for _, e := range t.G.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &model.Task{Name: t.Name, G: g, Deadline: t.Deadline, Period: t.Period}, nil
+}
+
 // scaledSchedulable analyzes a copy of ts with WCETs scaled by
 // permille/1000, rounded up.
-func (a *Analyzer) scaledSchedulable(ts *model.TaskSet, permille int) (bool, error) {
+func (a *Analyzer) scaledSchedulable(ctx context.Context, ts *model.TaskSet, permille int) (bool, error) {
 	scaled := &model.TaskSet{Tasks: make([]*model.Task, ts.N())}
 	for i, t := range ts.Tasks {
-		var b dag.Builder
-		for v := 0; v < t.G.N(); v++ {
-			c := (t.G.WCET(v)*int64(permille) + 999) / 1000
-			if c < 1 {
-				c = 1
-			}
-			b.AddNode(c)
-		}
-		for _, e := range t.G.Edges() {
-			b.AddEdge(e[0], e[1])
-		}
-		g, err := b.Build()
+		st, err := ScaleTask(t, permille)
 		if err != nil {
 			return false, err
 		}
-		scaled.Tasks[i] = &model.Task{Name: t.Name, G: g, Deadline: t.Deadline, Period: t.Period}
+		scaled.Tasks[i] = st
 	}
-	return a.Schedulable(scaled)
+	return a.Schedulable(ctx, scaled)
 }

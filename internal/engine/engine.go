@@ -53,6 +53,11 @@ const (
 	// per-method analyses of all its task sets), submitted by the
 	// campaign orchestrator in internal/experiments.
 	JobSweep
+	// JobSession is one stateful-session operation (create, edit,
+	// admission probe, sensitivity query), submitted by the session
+	// registry so interactive what-if traffic shares the pool's
+	// backpressure with everything else.
+	JobSession
 	numJobKinds
 )
 
@@ -66,17 +71,21 @@ func (k JobKind) String() string {
 		return "generate"
 	case JobSweep:
 		return "sweep"
+	case JobSession:
+		return "session"
 	}
 	return fmt.Sprintf("JobKind(%d)", int(k))
 }
 
 // job is one queued unit of work. ctx is the submitter's context: a
 // worker popping a job whose submitter has already given up skips the
-// computation instead of burning a worker on a result nobody reads.
+// computation instead of burning a worker on a result nobody reads; the
+// same context is passed into run, so an executing job (a long LP-ILP
+// solve) observes cancellation mid-computation too.
 type job struct {
 	kind JobKind
 	ctx  context.Context
-	run  func() (any, error)
+	run  func(context.Context) (any, error)
 	done chan jobResult
 }
 
@@ -166,13 +175,14 @@ type Stats struct {
 	Simulations uint64      `json:"simulations"`
 	Generations uint64      `json:"generations"`
 	Sweeps      uint64      `json:"sweeps"`
+	SessionOps  uint64      `json:"session_ops"`
 	Failed      uint64      `json:"failed"`
 	Cache       cache.Stats `json:"cache"`
 }
 
 // JobsServed returns the total completed jobs of all kinds.
 func (s Stats) JobsServed() uint64 {
-	return s.Analyses + s.Simulations + s.Generations + s.Sweeps
+	return s.Analyses + s.Simulations + s.Generations + s.Sweeps + s.SessionOps
 }
 
 // Stats snapshots the counters.
@@ -185,6 +195,7 @@ func (e *Engine) Stats() Stats {
 		Simulations: atomic.LoadUint64(&e.served[JobSimulate]),
 		Generations: atomic.LoadUint64(&e.served[JobGenerate]),
 		Sweeps:      atomic.LoadUint64(&e.served[JobSweep]),
+		SessionOps:  atomic.LoadUint64(&e.served[JobSession]),
 		Failed:      atomic.LoadUint64(&e.failed),
 	}
 	if e.memo != nil {
@@ -203,7 +214,7 @@ func (e *Engine) worker() {
 			j.done <- jobResult{err: err}
 			continue
 		}
-		val, err := j.run()
+		val, err := j.run(j.ctx)
 		atomic.AddUint64(&e.served[j.kind], 1)
 		if err != nil {
 			atomic.AddUint64(&e.failed, 1)
@@ -215,9 +226,9 @@ func (e *Engine) worker() {
 
 // submit enqueues fn and waits for its result. It returns ErrClosed
 // after Close, and the context's error if ctx expires while the job is
-// still queued (a job a worker already started always runs to
-// completion; its result is then discarded).
-func (e *Engine) submit(ctx context.Context, kind JobKind, fn func() (any, error)) (any, error) {
+// still queued (a running job observes the same context through its
+// argument and aborts at the analysis layer's next cancellation check).
+func (e *Engine) submit(ctx context.Context, kind JobKind, fn func(context.Context) (any, error)) (any, error) {
 	j := &job{kind: kind, ctx: ctx, run: fn, done: make(chan jobResult, 1)}
 	e.mu.RLock()
 	if e.closed {
@@ -246,8 +257,9 @@ func (e *Engine) submit(ctx context.Context, kind JobKind, fn func() (any, error
 // their own work units over the engine's worker pool (the experiment
 // orchestrator submits one JobSweep per sweep point). fn MUST NOT submit
 // further jobs to the same engine — a job waiting on a nested job can
-// deadlock the pool once every worker does it.
-func (e *Engine) Submit(ctx context.Context, kind JobKind, fn func() (any, error)) (any, error) {
+// deadlock the pool once every worker does it. fn receives the
+// submitter's context and should observe it during long computations.
+func (e *Engine) Submit(ctx context.Context, kind JobKind, fn func(context.Context) (any, error)) (any, error) {
 	if kind < 0 || kind >= numJobKinds {
 		return nil, fmt.Errorf("engine: unknown job kind %d", int(kind))
 	}
@@ -256,9 +268,10 @@ func (e *Engine) Submit(ctx context.Context, kind JobKind, fn func() (any, error
 
 // AnalyzeSpec selects the analysis parameters of one request.
 type AnalyzeSpec struct {
-	Cores   int
-	Method  core.Method
-	Backend core.Backend
+	Cores    int
+	Method   core.Method
+	Backend  core.Backend
+	FinalNPR bool // Options.FinalNPRRefinement
 }
 
 // maxMemoizedSpecs bounds the per-spec analyzer memo. Legitimate
@@ -276,7 +289,8 @@ func (e *Engine) analyzer(spec AnalyzeSpec) (*core.Analyzer, error) {
 	}
 	a, err := core.New(core.Options{
 		Cores: spec.Cores, Method: spec.Method, Backend: spec.Backend,
-		Cache: e.memo,
+		FinalNPRRefinement: spec.FinalNPR,
+		Cache:              e.memo,
 	})
 	if err != nil {
 		return nil, err
@@ -300,8 +314,8 @@ func (e *Engine) Analyze(ctx context.Context, ts *model.TaskSet, spec AnalyzeSpe
 	if err != nil {
 		return nil, err
 	}
-	v, err := e.submit(ctx, JobAnalyze, func() (any, error) {
-		return a.Analyze(ts)
+	v, err := e.submit(ctx, JobAnalyze, func(jobCtx context.Context) (any, error) {
+		return a.Analyze(jobCtx, ts)
 	})
 	if err != nil {
 		return nil, err
@@ -366,7 +380,7 @@ type SimulateSpec struct {
 
 // Simulate runs the discrete-event scheduler simulator as a pooled job.
 func (e *Engine) Simulate(ctx context.Context, ts *model.TaskSet, spec SimulateSpec) (*sim.Result, error) {
-	v, err := e.submit(ctx, JobSimulate, func() (any, error) {
+	v, err := e.submit(ctx, JobSimulate, func(context.Context) (any, error) {
 		return sim.Run(ts, sim.Config{M: spec.Cores, Duration: spec.Duration, MaxJobs: spec.MaxJobs})
 	})
 	if err != nil {
@@ -387,7 +401,7 @@ type GenerateSpec struct {
 // Generate produces a random task set as a pooled job, deterministic in
 // the spec's seed.
 func (e *Engine) Generate(ctx context.Context, spec GenerateSpec) (*model.TaskSet, error) {
-	v, err := e.submit(ctx, JobGenerate, func() (any, error) {
+	v, err := e.submit(ctx, JobGenerate, func(context.Context) (any, error) {
 		params := gen.PaperParams(spec.Group)
 		if spec.SeqProb > 0 {
 			params.SeqProb = spec.SeqProb

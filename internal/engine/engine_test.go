@@ -31,7 +31,7 @@ func TestAnalyzeMatchesDirect(t *testing.T) {
 			t.Fatalf("%v: %v", method, err)
 		}
 		a := core.MustNew(core.Options{Cores: fixture.M, Method: method})
-		want, err := a.Analyze(ts)
+		want, err := a.Analyze(context.Background(), ts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,7 +153,7 @@ func TestContextCancelWhileQueued(t *testing.T) {
 	go func() {
 		defer close(blockerDone)
 		// Occupy the single worker.
-		e.submit(context.Background(), JobAnalyze, func() (any, error) {
+		e.submit(context.Background(), JobAnalyze, func(context.Context) (any, error) {
 			<-release
 			return nil, nil
 		})
@@ -172,7 +172,7 @@ func TestContextCancelWhileQueued(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = e.submit(ctx, JobAnalyze, func() (any, error) { return nil, nil })
+			_, errs[i] = e.submit(ctx, JobAnalyze, func(context.Context) (any, error) { return nil, nil })
 		}(i)
 	}
 	wg.Wait()

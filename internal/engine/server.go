@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -36,6 +37,14 @@ type ServerConfig struct {
 	// MaxBatch caps the task sets in one analyze batch; 0 means
 	// DefaultMaxBatch.
 	MaxBatch int
+	// MaxSessions caps live analysis sessions; 0 means
+	// DefaultMaxSessions.
+	MaxSessions int
+	// SessionTTL evicts sessions untouched for this long; 0 means
+	// DefaultSessionTTL, negative disables expiry.
+	SessionTTL time.Duration
+	// SessionClock overrides the registry's time source (TTL tests).
+	SessionClock func() time.Time
 }
 
 // Server limits. The per-job compute caps exist because the HTTP
@@ -68,6 +77,7 @@ const (
 type Server struct {
 	eng      *Engine
 	cfg      ServerConfig
+	sessions *SessionRegistry
 	inFlight chan struct{}
 	requests uint64 // HTTP requests admitted (atomic)
 
@@ -89,15 +99,28 @@ func NewServer(e *Engine, cfg ServerConfig) *Server {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
 	s := &Server{eng: e, cfg: cfg, inFlight: make(chan struct{}, cfg.MaxInFlight)}
+	s.sessions = NewSessionRegistry(e, SessionRegistryConfig{
+		MaxSessions: cfg.MaxSessions, TTL: cfg.SessionTTL, Clock: cfg.SessionClock,
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.limited(s.handleAnalyze))
 	mux.HandleFunc("POST /v1/simulate", s.limited(s.handleSimulate))
 	mux.HandleFunc("POST /v1/generate", s.limited(s.handleGenerate))
+	mux.HandleFunc("POST /v1/sessions", s.limited(s.handleSessionCreate))
+	mux.HandleFunc("GET /v1/sessions/{id}/report", s.limited(s.handleSessionReport))
+	mux.HandleFunc("POST /v1/sessions/{id}/edits", s.limited(s.handleSessionEdits))
+	mux.HandleFunc("POST /v1/sessions/{id}/admit", s.limited(s.handleSessionAdmit))
+	mux.HandleFunc("POST /v1/sessions/{id}/sensitivity", s.limited(s.handleSessionSensitivity))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.limited(s.handleSessionDelete))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux = mux
 	return s
 }
+
+// Sessions returns the server's session registry (embedders wanting
+// programmatic access to the sessions the HTTP surface manages).
+func (s *Server) Sessions() *SessionRegistry { return s.sessions }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -214,17 +237,19 @@ func ParseBackend(s string) (core.Backend, error) {
 // analyzeItem is one batch element: a task set plus optional per-request
 // overrides of the top-level defaults.
 type analyzeItem struct {
-	TaskSet json.RawMessage `json:"taskset"`
-	Cores   *int            `json:"cores,omitempty"`
-	Method  *string         `json:"method,omitempty"`
-	Backend *string         `json:"backend,omitempty"`
+	TaskSet  json.RawMessage `json:"taskset"`
+	Cores    *int            `json:"cores,omitempty"`
+	Method   *string         `json:"method,omitempty"`
+	Backend  *string         `json:"backend,omitempty"`
+	FinalNPR *bool           `json:"final_npr,omitempty"`
 }
 
 // analyzeRequest is the /v1/analyze body: defaults plus a batch.
 type analyzeRequest struct {
-	Cores    int           `json:"cores,omitempty"`   // default 4
-	Method   string        `json:"method,omitempty"`  // default "lp-ilp"
-	Backend  string        `json:"backend,omitempty"` // default "combinatorial"
+	Cores    int           `json:"cores,omitempty"`     // default 4
+	Method   string        `json:"method,omitempty"`    // default "lp-ilp"
+	Backend  string        `json:"backend,omitempty"`   // default "combinatorial"
+	FinalNPR bool          `json:"final_npr,omitempty"` // Options.FinalNPRRefinement
 	Requests []analyzeItem `json:"requests"`
 }
 
@@ -298,10 +323,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	specs := make([]AnalyzeSpec, 0, len(req.Requests))
 	slots := make([]int, 0, len(req.Requests)) // result index per submitted job
 	for i, item := range req.Requests {
-		spec := AnalyzeSpec{Cores: req.Cores}
+		spec := AnalyzeSpec{Cores: req.Cores, FinalNPR: req.FinalNPR}
 		methodStr, backendStr := req.Method, req.Backend
 		if item.Cores != nil {
 			spec.Cores = *item.Cores
+		}
+		if item.FinalNPR != nil {
+			spec.FinalNPR = *item.FinalNPR
 		}
 		if item.Method != nil {
 			methodStr = *item.Method
@@ -505,22 +533,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // statsResponse augments the engine stats with server-level counters.
 type statsResponse struct {
 	Stats
-	HTTPRequests uint64  `json:"http_requests"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	ActiveShards int64   `json:"active_shards"`
-	ShardsServed uint64  `json:"shards_served"`
-	Draining     bool    `json:"draining"`
+	HTTPRequests   uint64  `json:"http_requests"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	ActiveShards   int64   `json:"active_shards"`
+	ShardsServed   uint64  `json:"shards_served"`
+	ActiveSessions int     `json:"active_sessions"`
+	Draining       bool    `json:"draining"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
 	writeJSON(w, http.StatusOK, statsResponse{
-		Stats:        st,
-		HTTPRequests: atomic.LoadUint64(&s.requests),
-		CacheHitRate: st.Cache.HitRate(),
-		ActiveShards: s.activeShards.Load(),
-		ShardsServed: s.shardsServed.Load(),
-		Draining:     s.Draining(),
+		Stats:          st,
+		HTTPRequests:   atomic.LoadUint64(&s.requests),
+		CacheHitRate:   st.Cache.HitRate(),
+		ActiveShards:   s.activeShards.Load(),
+		ShardsServed:   s.shardsServed.Load(),
+		ActiveSessions: s.sessions.Len(),
+		Draining:       s.Draining(),
 	})
 }
 

@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/session"
+)
+
+// Session-registry defaults.
+const (
+	// DefaultMaxSessions bounds the live sessions of one engine. Each
+	// session pins an rta.Analyzer with its scratch arenas and suffix
+	// checkpoints — cheap per session, but client-controlled, so the
+	// count must be capped.
+	DefaultMaxSessions = 1024
+	// DefaultSessionTTL is how long an untouched session survives.
+	DefaultSessionTTL = 15 * time.Minute
+)
+
+// ErrSessionNotFound is returned for unknown or expired session ids
+// (the two are indistinguishable by design: expiry deletes).
+var ErrSessionNotFound = fmt.Errorf("engine: session not found or expired")
+
+// ErrTooManySessions is returned by Create when the registry is full
+// even after evicting every expired session.
+var ErrTooManySessions = fmt.Errorf("engine: session limit reached")
+
+// SessionRegistryConfig parameterises a SessionRegistry.
+type SessionRegistryConfig struct {
+	// MaxSessions caps live sessions; 0 means DefaultMaxSessions.
+	MaxSessions int
+	// TTL evicts sessions untouched for this long; 0 means
+	// DefaultSessionTTL. Negative disables expiry.
+	TTL time.Duration
+	// Clock overrides time.Now, for tests exercising TTL eviction.
+	Clock func() time.Time
+}
+
+// SessionRegistry owns the live analysis sessions of an engine: id
+// allocation, lookup-with-touch, bounded count, and TTL eviction
+// (lazily, on every registry operation — a registry nobody talks to
+// holds only memory, not goroutines). Session operations submitted
+// through Do run on the engine's worker pool as JobSession jobs, so
+// interactive what-if traffic shares the pool's backpressure with batch
+// analyses.
+type SessionRegistry struct {
+	eng *Engine
+	cfg SessionRegistryConfig
+
+	mu       sync.Mutex
+	sessions map[string]*sessionEntry
+}
+
+type sessionEntry struct {
+	sess     *session.Session
+	lastUsed time.Time
+
+	// op serializes this session's pooled operations BEFORE they reach
+	// the worker pool (capacity 1). The session's own mutex would
+	// serialize them too — but inside the pool, where every waiter
+	// pins a worker in an uncancellable mutex sleep; W concurrent ops
+	// on one session must park W-1 request goroutines here instead,
+	// each still honouring its context.
+	op chan struct{}
+}
+
+// NewSessionRegistry returns a registry whose session analyses share
+// the engine's cache and worker pool.
+func NewSessionRegistry(e *Engine, cfg SessionRegistryConfig) *SessionRegistry {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = DefaultSessionTTL
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &SessionRegistry{
+		eng:      e,
+		cfg:      cfg,
+		sessions: make(map[string]*sessionEntry),
+	}
+}
+
+// Len returns the live session count (after sweeping expired ones).
+func (r *SessionRegistry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked()
+	return len(r.sessions)
+}
+
+// sweepLocked drops every expired session.
+func (r *SessionRegistry) sweepLocked() {
+	if r.cfg.TTL < 0 {
+		return
+	}
+	cutoff := r.cfg.Clock().Add(-r.cfg.TTL)
+	for id, e := range r.sessions {
+		if e.lastUsed.Before(cutoff) {
+			delete(r.sessions, id)
+		}
+	}
+}
+
+// Create validates the options and tasks, registers a new session, and
+// returns its id. The session's analyses share the engine's cache.
+func (r *SessionRegistry) Create(opts core.Options, tasks ...*model.Task) (string, *session.Session, error) {
+	opts.Cache = r.eng.Cache()
+	sess, err := session.New(opts, tasks...)
+	if err != nil {
+		return "", nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked()
+	if len(r.sessions) >= r.cfg.MaxSessions {
+		return "", nil, ErrTooManySessions
+	}
+	id := newSessionID()
+	r.sessions[id] = &sessionEntry{
+		sess: sess, lastUsed: r.cfg.Clock(), op: make(chan struct{}, 1),
+	}
+	return id, sess, nil
+}
+
+// Get returns the session and refreshes its TTL.
+func (r *SessionRegistry) Get(id string) (*session.Session, error) {
+	e, err := r.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.sess, nil
+}
+
+// entry resolves a live entry and refreshes its TTL.
+func (r *SessionRegistry) entry(id string) (*sessionEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked()
+	e, ok := r.sessions[id]
+	if !ok {
+		return nil, ErrSessionNotFound
+	}
+	e.lastUsed = r.cfg.Clock()
+	return e, nil
+}
+
+// Delete removes the session, reporting whether it existed.
+func (r *SessionRegistry) Delete(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked()
+	_, ok := r.sessions[id]
+	delete(r.sessions, id)
+	return ok
+}
+
+// Do resolves the session and runs fn against it as a JobSession job on
+// the engine's worker pool. At most one pooled job per session runs at
+// a time: concurrent operations on the same session queue here, on the
+// caller's goroutine under the caller's context — never inside the
+// pool, where each waiter would pin a worker in an uncancellable mutex
+// sleep and one busy session could starve every other job.
+func (r *SessionRegistry) Do(ctx context.Context, id string, fn func(ctx context.Context, s *session.Session) (any, error)) (any, error) {
+	e, err := r.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case e.op <- struct{}{}:
+		defer func() { <-e.op }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return r.eng.Submit(ctx, JobSession, func(jobCtx context.Context) (any, error) {
+		return fn(jobCtx, e.sess)
+	})
+}
+
+// newSessionID returns a 128-bit random hex id.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("engine: session id randomness unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,313 @@
+package engine
+
+// HTTP surface of the stateful analysis sessions (see sessions.go and
+// internal/session):
+//
+//	POST   /v1/sessions                   create (task set + options)
+//	GET    /v1/sessions/{id}/report       current report
+//	POST   /v1/sessions/{id}/edits        apply an edit batch, return the report
+//	POST   /v1/sessions/{id}/admit        admission probe (no commit)
+//	POST   /v1/sessions/{id}/sensitivity  per-task WCET headroom
+//	DELETE /v1/sessions/{id}              drop the session
+//
+// Unknown and expired ids both 404 (expiry deletes, so the server
+// cannot tell them apart and does not pretend to). A full registry
+// 503s: sessions are server state, so the cap is load shedding, not a
+// request-shape error.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/session"
+)
+
+// createSessionRequest is the POST /v1/sessions body. The task set is
+// optional: admission-control sessions often start empty and admit.
+type createSessionRequest struct {
+	TaskSet  json.RawMessage `json:"taskset,omitempty"`
+	Cores    int             `json:"cores,omitempty"`   // default 4
+	Method   string          `json:"method,omitempty"`  // default "lp-ilp"
+	Backend  string          `json:"backend,omitempty"` // default "combinatorial"
+	FinalNPR bool            `json:"final_npr,omitempty"`
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Cores == 0 {
+		req.Cores = 4
+	}
+	opts := core.Options{Cores: req.Cores, FinalNPRRefinement: req.FinalNPR}
+	var err error
+	if opts.Method, err = ParseMethod(req.Method); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if opts.Backend, err = ParseBackend(req.Backend); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var tasks []*model.Task
+	if len(req.TaskSet) > 0 {
+		ts := new(model.TaskSet)
+		if err := ts.UnmarshalJSON(req.TaskSet); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid taskset: %v", err)
+			return
+		}
+		tasks = ts.Tasks
+	}
+	id, _, err := s.sessions.Create(opts, tasks...)
+	if err != nil {
+		writeError(w, statusForSessionError(err), "create session: %v", err)
+		return
+	}
+	// The initial analysis is the largest one a session ever pays (no
+	// incremental state yet); run it as a pooled job like every other
+	// session operation so creates share the worker pool's backpressure.
+	v, err := s.sessions.Do(r.Context(), id,
+		func(ctx context.Context, sess *session.Session) (any, error) {
+			return sess.Report(ctx)
+		})
+	if err != nil {
+		s.sessions.Delete(id)
+		writeError(w, statusForSessionError(err), "create session: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "report": reportJSON(v.(*core.Report))})
+}
+
+func (s *Server) handleSessionReport(w http.ResponseWriter, r *http.Request) {
+	v, err := s.sessions.Do(r.Context(), r.PathValue("id"),
+		func(ctx context.Context, sess *session.Session) (any, error) {
+			return sess.Report(ctx)
+		})
+	if err != nil {
+		writeError(w, statusForSessionError(err), "session report: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"report": reportJSON(v.(*core.Report))})
+}
+
+// sessionEditJSON is one element of the edits batch. Tasks may be
+// addressed by index or, for remove/set_priority, by name.
+type sessionEditJSON struct {
+	Op     string          `json:"op"`
+	Task   json.RawMessage `json:"task,omitempty"`
+	At     *int            `json:"at,omitempty"` // add: default lowest priority
+	Index  *int            `json:"index,omitempty"`
+	Name   string          `json:"name,omitempty"`
+	From   *int            `json:"from,omitempty"`
+	To     *int            `json:"to,omitempty"`
+	Cores  int             `json:"cores,omitempty"`
+	Method string          `json:"method,omitempty"`
+}
+
+type sessionEditsRequest struct {
+	Edits []sessionEditJSON `json:"edits"`
+}
+
+// decodeEdit lowers one wire edit onto a session.Edit. Name-based
+// addressing passes through: session.Apply resolves names against the
+// state the batch has reached, so an edit can reference a task an
+// earlier edit in the same batch added.
+func decodeEdit(e sessionEditJSON) (session.Edit, error) {
+	out := session.Edit{Op: e.Op, Name: e.Name}
+	need := func(idx *int, field string) (int, error) {
+		if e.Name != "" {
+			return 0, nil // resolved by name in session.Apply
+		}
+		if idx == nil {
+			return 0, errors.New("missing " + field)
+		}
+		return *idx, nil
+	}
+	switch e.Op {
+	case session.OpAdd:
+		if len(e.Task) == 0 {
+			return out, errors.New("missing task")
+		}
+		t := new(model.Task)
+		if err := t.UnmarshalJSON(e.Task); err != nil {
+			return out, err
+		}
+		out.Task = t
+		out.At = -1
+		if e.At != nil {
+			out.At = *e.At
+		}
+	case session.OpRemove:
+		i, err := need(e.Index, "index")
+		if err != nil {
+			return out, err
+		}
+		out.Index = i
+	case session.OpSetPriority:
+		from, err := need(e.From, "from")
+		if err != nil {
+			return out, err
+		}
+		if e.To == nil {
+			return out, errors.New("missing to")
+		}
+		out.From, out.To = from, *e.To
+	case session.OpSetCores:
+		out.Cores = e.Cores
+	case session.OpSetMethod:
+		m, err := ParseMethod(e.Method)
+		if err != nil {
+			return out, err
+		}
+		out.Method = m
+	default:
+		// Let session.Apply produce the canonical unknown-op error.
+	}
+	return out, nil
+}
+
+func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
+	var req sessionEditsRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Edits) == 0 {
+		writeError(w, http.StatusBadRequest, "empty edit batch")
+		return
+	}
+	edits := make([]session.Edit, len(req.Edits))
+	for i, e := range req.Edits {
+		var err error
+		if edits[i], err = decodeEdit(e); err != nil {
+			writeError(w, http.StatusBadRequest, "edit %d: %v", i, err)
+			return
+		}
+	}
+	v, err := s.sessions.Do(r.Context(), r.PathValue("id"),
+		func(ctx context.Context, sess *session.Session) (any, error) {
+			if err := sess.Apply(edits); err != nil {
+				return nil, err
+			}
+			rep, err := sess.Report(ctx)
+			if err != nil {
+				// The batch IS committed (Apply is transactional and
+				// succeeded); only the report failed, e.g. the client
+				// cancelled mid-analysis. Say so explicitly — a client
+				// that misread this as "nothing applied" would retry the
+				// whole batch against the already-edited session.
+				return nil, fmt.Errorf("%w: edits were applied; re-fetch GET report", err)
+			}
+			return rep, nil
+		})
+	if err != nil {
+		writeError(w, statusForSessionError(err), "session edits: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"report": reportJSON(v.(*core.Report))})
+}
+
+// sessionAdmitRequest is the POST /v1/sessions/{id}/admit body.
+type sessionAdmitRequest struct {
+	Task json.RawMessage `json:"task"`
+	At   *int            `json:"at,omitempty"` // default lowest priority
+}
+
+func (s *Server) handleSessionAdmit(w http.ResponseWriter, r *http.Request) {
+	var req sessionAdmitRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Task) == 0 {
+		writeError(w, http.StatusBadRequest, "missing task")
+		return
+	}
+	t := new(model.Task)
+	if err := t.UnmarshalJSON(req.Task); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid task: %v", err)
+		return
+	}
+	at := -1
+	if req.At != nil {
+		at = *req.At
+	}
+	v, err := s.sessions.Do(r.Context(), r.PathValue("id"),
+		func(ctx context.Context, sess *session.Session) (any, error) {
+			return sess.TryAdmit(ctx, t, at)
+		})
+	if err != nil {
+		writeError(w, statusForSessionError(err), "session admit: %v", err)
+		return
+	}
+	rep := v.(*core.Report)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"admitted": rep.Schedulable,
+		"report":   reportJSON(rep),
+	})
+}
+
+// sessionSensitivityRequest is the POST /v1/sessions/{id}/sensitivity
+// body; the task may be addressed by index or name.
+type sessionSensitivityRequest struct {
+	Index       *int   `json:"index,omitempty"`
+	Name        string `json:"name,omitempty"`
+	MaxPermille int    `json:"max_permille,omitempty"` // default 10000 (10×)
+}
+
+func (s *Server) handleSessionSensitivity(w http.ResponseWriter, r *http.Request) {
+	var req sessionSensitivityRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.MaxPermille == 0 {
+		req.MaxPermille = 10_000
+	}
+	if req.Name == "" && req.Index == nil {
+		writeError(w, http.StatusBadRequest, "missing index or name")
+		return
+	}
+	v, err := s.sessions.Do(r.Context(), r.PathValue("id"),
+		func(ctx context.Context, sess *session.Session) (any, error) {
+			i := 0
+			if req.Name != "" {
+				i = sess.TaskIndex(req.Name)
+				if i < 0 {
+					return nil, errors.New("unknown task name " + req.Name)
+				}
+			} else {
+				i = *req.Index
+			}
+			return sess.Sensitivity(ctx, i, req.MaxPermille)
+		})
+	if err != nil {
+		writeError(w, statusForSessionError(err), "session sensitivity: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"permille": v.(int)})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.Delete(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "%v", ErrSessionNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// statusForSessionError maps session-layer failures onto HTTP codes.
+func statusForSessionError(err error) int {
+	switch {
+	case errors.Is(err, ErrSessionNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrTooManySessions), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}

@@ -404,8 +404,8 @@ func RunCampaign(cfg CampaignConfig, opts RunOptions) ([]PointResult, error) {
 			for _, p := range positions {
 				i := remaining[p]
 				pt := points[i]
-				v, err := eng.Submit(ctx, engine.JobSweep, func() (any, error) {
-					return runCampaignPoint(ncfg, pt, memo)
+				v, err := eng.Submit(ctx, engine.JobSweep, func(jobCtx context.Context) (any, error) {
+					return runCampaignPoint(jobCtx, ncfg, pt, memo)
 				})
 				d := pointDone{idx: i, err: err}
 				if err == nil {
@@ -569,8 +569,8 @@ func RunCampaignSubset(cfg CampaignConfig, indices []int, opts RunOptions) ([]Po
 		go func(positions []int) {
 			for _, p := range positions {
 				pt := points[indices[p]]
-				v, err := eng.Submit(ctx, engine.JobSweep, func() (any, error) {
-					return runCampaignPoint(ncfg, pt, memo)
+				v, err := eng.Submit(ctx, engine.JobSweep, func(jobCtx context.Context) (any, error) {
+					return runCampaignPoint(jobCtx, ncfg, pt, memo)
 				})
 				d := pointDone{pos: p, err: err}
 				if err == nil {
@@ -626,7 +626,7 @@ func RunCampaignSubset(cfg CampaignConfig, indices []int, opts RunOptions) ([]Po
 // analyzes them as one ScheduleBatch, so the whole point reuses a single
 // warm rta scratch state per method — the sweep-side half of the
 // "one analyzer per worker" reuse story.
-func runCampaignPoint(cfg CampaignConfig, pt Point, memo *cache.Cache) (PointResult, error) {
+func runCampaignPoint(ctx context.Context, cfg CampaignConfig, pt Point, memo *cache.Cache) (PointResult, error) {
 	res := PointResult{
 		Index:    pt.Index,
 		Scenario: pt.Scenario.Name,
@@ -644,7 +644,7 @@ func runCampaignPoint(cfg CampaignConfig, pt Point, memo *cache.Cache) (PointRes
 		if err != nil {
 			return res, err
 		}
-		verdicts, err := a.ScheduleBatch(sets)
+		verdicts, err := a.ScheduleBatch(ctx, sets)
 		if err != nil {
 			return res, fmt.Errorf("point %d method %v: %w", pt.Index, method, err)
 		}

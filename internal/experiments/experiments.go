@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -140,7 +141,7 @@ func runPoint(cfg Fig2Config, u float64, point int, memo *cache.Cache) CurvePoin
 			defer func() { <-sem }()
 			local := make(map[core.Method]bool, 3)
 			for _, method := range core.Methods() {
-				ok, err := analyzers[method].Schedulable(ts)
+				ok, err := analyzers[method].Schedulable(context.Background(), ts)
 				if err != nil {
 					panic(err) // sets are pre-validated; unreachable
 				}
@@ -278,7 +279,7 @@ func TasksSweep(cfg TasksSweepConfig) []TasksSweepPoint {
 		for i := 0; i < sets; i++ {
 			ts := gen.New(SeedFor(cfg.Seed, n, i), gen.PaperParams(cfg.Group)).TaskSetN(n, cfg.U)
 			for _, method := range core.Methods() {
-				ok, err := analyzers[method].Schedulable(ts)
+				ok, err := analyzers[method].Schedulable(context.Background(), ts)
 				if err != nil {
 					panic(err) // generated sets are valid; unreachable
 				}
@@ -380,7 +381,7 @@ func Timing(cfg TimingConfig) []TimingResult {
 		start := time.Now()
 		sched := 0
 		for _, ts := range sets {
-			ok, err := a.Schedulable(ts)
+			ok, err := a.Schedulable(context.Background(), ts)
 			if err != nil {
 				panic(err)
 			}
@@ -509,7 +510,7 @@ func Variants(cfg Fig2Config) []VariantPoint {
 		for i := 0; i < n; i++ {
 			ts := fig2Set(cfg, point, i, uu)
 			for vi, va := range variants {
-				res, err := va.AnalyzeInPlace(ts)
+				res, err := va.AnalyzeInPlace(context.Background(), ts)
 				if err != nil {
 					panic(err) // generated sets are valid; unreachable
 				}
@@ -576,7 +577,7 @@ func Pessimism(cfg PessimismConfig) PessimismResult {
 	res := PessimismResult{Sets: cfg.Sets}
 	for i := 0; i < cfg.Sets; i++ {
 		ts := gen.New(SeedFor(cfg.Seed, 0, i), gen.PaperParams(gen.GroupMixed)).TaskSet(cfg.U)
-		ok, err := a.Schedulable(ts)
+		ok, err := a.Schedulable(context.Background(), ts)
 		if err != nil {
 			panic(err) // generated sets are valid; unreachable
 		}

@@ -204,7 +204,7 @@ func analyzeAll(ts *model.TaskSet, m int, be core.Backend) (boundCheckSet, error
 		{&out.lpILPSafe, rta.Config{M: m, Method: rta.LPILP, Backend: be, DonationSafeBlocking: true}},
 		{&out.refinedSafe, rta.Config{M: m, Method: rta.LPILP, Backend: be, FinalNPRRefinement: true, DonationSafeBlocking: true}},
 	} {
-		res, err := rta.Analyze(ts, step.cfg)
+		res, err := rta.Analyze(context.Background(), ts, step.cfg)
 		if err != nil {
 			return out, err
 		}
@@ -374,7 +374,7 @@ func RunSoundness(cfg SoundnessConfig) (*SoundnessReport, error) {
 		go func(idxs []int) {
 			for _, p := range idxs {
 				pt := derivePoint(cfg, p)
-				v, err := eng.Submit(context.Background(), engine.JobSweep, func() (any, error) {
+				v, err := eng.Submit(context.Background(), engine.JobSweep, func(context.Context) (any, error) {
 					po := pointOut{}
 					ts := pt.scenario.TaskSet(pt.seed, pt.u)
 					unit := p%cfg.UnitSplitEvery == 0

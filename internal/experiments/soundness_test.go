@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"os"
 	"strconv"
 	"strings"
@@ -190,7 +191,7 @@ func TestEagerDonationGapReproducer(t *testing.T) {
 		t.Fatal(err)
 	}
 	const m = 2
-	exact, err := rta.Analyze(ts, rta.Config{M: m, Method: rta.LPILP})
+	exact, err := rta.Analyze(context.Background(), ts, rta.Config{M: m, Method: rta.LPILP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestEagerDonationGapReproducer(t *testing.T) {
 	}
 	// Donation-safe accounting must cover the observation: either the
 	// bound is ≥ 81, or the variant rejects the task (no claim made).
-	safe, err := rta.Analyze(ts, rta.Config{M: m, Method: rta.LPILP, DonationSafeBlocking: true})
+	safe, err := rta.Analyze(context.Background(), ts, rta.Config{M: m, Method: rta.LPILP, DonationSafeBlocking: true})
 	if err != nil {
 		t.Fatal(err)
 	}

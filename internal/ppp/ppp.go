@@ -20,6 +20,7 @@
 package ppp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -186,7 +187,7 @@ func Explore(ts *model.TaskSet, m int, budgets []int64, method rta.Method, be bl
 	out := make([]Point, 0, len(budgets))
 	for _, q := range budgets {
 		split := Transform(ts, func(g *dag.Graph) *dag.Graph { return SplitNodes(g, q) })
-		res, err := rta.Analyze(split, rta.Config{M: m, Method: method, Backend: be})
+		res, err := rta.Analyze(context.Background(), split, rta.Config{M: m, Method: method, Backend: be})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package rta
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -22,12 +23,12 @@ func TestAnalyzerSteadyStateZeroAlloc(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := a.AnalyzeInPlace(ts); err != nil { // warm the memos
+		if _, err := a.AnalyzeInPlace(context.Background(), ts); err != nil { // warm the memos
 			t.Fatal(err)
 		}
 		var sink *Result
 		allocs := testing.AllocsPerRun(100, func() {
-			r, err := a.AnalyzeInPlace(ts)
+			r, err := a.AnalyzeInPlace(context.Background(), ts)
 			if err != nil {
 				panic(err)
 			}
@@ -61,12 +62,12 @@ func TestAnalyzerEquivalence(t *testing.T) {
 		check := func(seed int64) bool {
 			rng := rand.New(rand.NewSource(seed))
 			ts := randomTaskSet(rng, 1+rng.Intn(5))
-			want, err := Analyze(ts, Config{M: 4, Method: method})
+			want, err := Analyze(context.Background(), ts, Config{M: 4, Method: method})
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, a := range []*Analyzer{reused, cached} {
-				got, err := a.AnalyzeInPlace(ts)
+				got, err := a.AnalyzeInPlace(context.Background(), ts)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -105,7 +106,7 @@ func TestAnalyzerMuMemoColdDrop(t *testing.T) {
 	const tasksPerSet = 3
 	maxEntries := 0
 	for i := 0; i < 5*muColdLimit; i++ {
-		if _, err := a.AnalyzeInPlace(randomTaskSet(rng, tasksPerSet)); err != nil {
+		if _, err := a.AnalyzeInPlace(context.Background(), randomTaskSet(rng, tasksPerSet)); err != nil {
 			t.Fatal(err)
 		}
 		maxEntries = max(maxEntries, len(a.mus))
@@ -120,7 +121,7 @@ func TestAnalyzerMuMemoColdDrop(t *testing.T) {
 	// A held set stays warm: entries survive repeated re-analysis.
 	held := randomTaskSet(rng, tasksPerSet)
 	for i := 0; i < 10; i++ {
-		if _, err := a.AnalyzeInPlace(held); err != nil {
+		if _, err := a.AnalyzeInPlace(context.Background(), held); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -137,10 +138,10 @@ func TestAnalyzerScratchTailCleared(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(2))
-	if _, err := a.AnalyzeInPlace(randomTaskSet(rng, 8)); err != nil {
+	if _, err := a.AnalyzeInPlace(context.Background(), randomTaskSet(rng, 8)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.AnalyzeInPlace(randomTaskSet(rng, 2)); err != nil {
+	if _, err := a.AnalyzeInPlace(context.Background(), randomTaskSet(rng, 2)); err != nil {
 		t.Fatal(err)
 	}
 	for i, g := range a.graphs[len(a.graphs):cap(a.graphs)] {
@@ -163,12 +164,12 @@ func TestAnalyzeOwnsResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := a.Analyze(ts)
+	first, err := a.Analyze(context.Background(), ts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	snapshot := append([]TaskResult(nil), first.Tasks...)
-	if _, err := a.AnalyzeInPlace(&model.TaskSet{Tasks: ts.Tasks[:1]}); err != nil {
+	if _, err := a.AnalyzeInPlace(context.Background(), &model.TaskSet{Tasks: ts.Tasks[:1]}); err != nil {
 		t.Fatal(err)
 	}
 	for i := range snapshot {

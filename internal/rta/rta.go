@@ -28,6 +28,7 @@
 package rta
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/blocking"
@@ -202,8 +203,13 @@ type Analyzer struct {
 	// pin dead graphs (and their lazily memoized bitsets) until the
 	// entry limit.
 	mus         map[*dag.Graph][]int64
-	muHits      int // memo hits in the current call
-	muColdCalls int // consecutive completed calls with zero hits
+	muHits      int  // memo hits in the current call
+	muQueried   bool // whether the current call consulted the memo at all
+	muColdCalls int  // consecutive µ-consulting calls with zero hits
+
+	// inc is the cross-call incremental state of AnalyzeIncremental
+	// (see incremental.go); nil until first used.
+	inc *incState
 
 	res Result
 }
@@ -220,31 +226,74 @@ const muMemoLimit = 4096
 // graphs instead of muMemoLimit.
 const muColdLimit = 32
 
-// NewAnalyzer validates the configuration and returns a reusable
-// Analyzer.
-func NewAnalyzer(cfg Config) (*Analyzer, error) {
+// validateConfig checks cfg, naming the offending field and value the
+// way every layer of the API does (see TestConfigValidationErrors).
+func validateConfig(cfg Config) error {
 	if cfg.M < 1 {
-		return nil, fmt.Errorf("rta: need at least one core, got %d", cfg.M)
+		return fmt.Errorf("rta: invalid Config.M: %d (must be ≥ 1)", cfg.M)
 	}
 	switch cfg.Method {
 	case FPIdeal, LPMax, LPILP:
 	default:
-		return nil, fmt.Errorf("rta: unknown method %v", cfg.Method)
+		return fmt.Errorf("rta: invalid Config.Method: %v", cfg.Method)
 	}
-	maxIter := cfg.MaxIterations
-	if maxIter == 0 {
-		maxIter = DefaultMaxIterations
+	switch cfg.Backend {
+	case blocking.Combinatorial, blocking.PaperILP:
+	default:
+		return fmt.Errorf("rta: invalid Config.Backend: %v", cfg.Backend)
 	}
-	return &Analyzer{cfg: cfg, maxIter: maxIter}, nil
+	if cfg.MaxIterations < 0 {
+		return fmt.Errorf("rta: invalid Config.MaxIterations: %d (must be ≥ 0)", cfg.MaxIterations)
+	}
+	return nil
+}
+
+// NewAnalyzer validates the configuration and returns a reusable
+// Analyzer.
+func NewAnalyzer(cfg Config) (*Analyzer, error) {
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
+	}
+	a := &Analyzer{}
+	a.setConfig(cfg)
+	return a, nil
+}
+
+// setConfig installs a validated configuration.
+func (a *Analyzer) setConfig(cfg Config) {
+	a.cfg = cfg
+	a.maxIter = cfg.MaxIterations
+	if a.maxIter == 0 {
+		a.maxIter = DefaultMaxIterations
+	}
+}
+
+// Reconfigure swaps the analyzer's configuration, invalidating every
+// configuration-dependent memo (the µ tables depend on M and Backend,
+// the incremental state on everything). Scratch buffers are kept, so a
+// session flipping between core counts pays re-analysis, not
+// re-allocation.
+func (a *Analyzer) Reconfigure(cfg Config) error {
+	if err := validateConfig(cfg); err != nil {
+		return err
+	}
+	a.setConfig(cfg)
+	clear(a.mus)
+	a.muHits, a.muColdCalls, a.muQueried = 0, 0, false
+	if a.inc != nil {
+		a.inc.valid = false
+	}
+	return nil
 }
 
 // Config returns the analyzer's configuration.
 func (a *Analyzer) Config() Config { return a.cfg }
 
 // Analyze runs the analysis and returns a freshly allocated Result the
-// caller owns.
-func (a *Analyzer) Analyze(ts *model.TaskSet) (*Result, error) {
-	r, err := a.AnalyzeInPlace(ts)
+// caller owns. The context cancels long analyses between tasks and
+// between fixed-point chunks.
+func (a *Analyzer) Analyze(ctx context.Context, ts *model.TaskSet) (*Result, error) {
+	r, err := a.AnalyzeInPlace(ctx, ts)
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +312,7 @@ func (a *Analyzer) Analyze(ts *model.TaskSet) (*Result, error) {
 // One-shot convenience over NewAnalyzer; callers analyzing more than one
 // set with the same configuration should hold an Analyzer (or a
 // core.Analyzer, which pools them) to reuse its scratch state.
-func Analyze(ts *model.TaskSet, cfg Config) (*Result, error) {
+func Analyze(ctx context.Context, ts *model.TaskSet, cfg Config) (*Result, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
@@ -271,7 +320,7 @@ func Analyze(ts *model.TaskSet, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return a.Analyze(ts)
+	return a.Analyze(ctx, ts)
 }
 
 // ensure sizes the scratch buffers for an n-task set and resets the
@@ -321,6 +370,7 @@ func blockingMethod(m Method) blocking.Method {
 // muTable returns the µ table of g through the analyzer-local memo
 // (cache-less LP-ILP path).
 func (a *Analyzer) muTable(g *dag.Graph) []int64 {
+	a.muQueried = true
 	if mu, ok := a.mus[g]; ok {
 		a.muHits++
 		return mu
@@ -363,24 +413,18 @@ func (a *Analyzer) demandSuffix(k int) blocking.Interference {
 	return a.suffix[k]
 }
 
-// AnalyzeInPlace runs the analysis and returns the analyzer's internal
-// Result, valid until the next call on this analyzer. This is the
-// zero-allocation entry point of the fixed-point loop; callers that need
-// the result to outlive the next call must use Analyze.
-func (a *Analyzer) AnalyzeInPlace(ts *model.TaskSet) (*Result, error) {
-	if err := ts.Validate(); err != nil {
-		return nil, err
-	}
-	cfg := a.cfg
-	n := ts.N()
-	m64 := int64(cfg.M)
-	// Drop the µ memo once it is demonstrably cold: muColdLimit
-	// consecutive calls without a single hit mean the workload is a
-	// stream of fresh graphs, not re-analysis of held sets. Resetting
-	// the cold counter after a drop leaves a full window for a
-	// steady-state workload to warm back up (populate, then hit), so
-	// the zero-allocation loop is unaffected.
-	if len(a.mus) > 0 {
+// prologue runs the per-call µ-memo maintenance: drop the memo once it
+// is demonstrably cold — muColdLimit consecutive µ-consulting calls
+// without a single hit mean the workload is a stream of fresh graphs,
+// not re-analysis of held sets. Calls that never consulted the memo at
+// all (an incremental re-analysis whose suffix scan resumed past every
+// push) are neutral: they prove nothing about the workload, and a
+// session idling on cheap edits must not lose its warm µ tables over
+// them. Resetting the cold counter after a drop leaves a full window
+// for a steady-state workload to warm back up (populate, then hit), so
+// the zero-allocation loop is unaffected.
+func (a *Analyzer) prologue() {
+	if len(a.mus) > 0 && a.muQueried {
 		if a.muHits == 0 {
 			a.muColdCalls++
 		} else {
@@ -392,6 +436,27 @@ func (a *Analyzer) AnalyzeInPlace(ts *model.TaskSet) (*Result, error) {
 		}
 	}
 	a.muHits = 0
+	a.muQueried = false
+}
+
+// ctxCheckStride is how many fixed-point iterations run between
+// cancellation checks. Iterations are cheap; checking every one would
+// dominate short solves.
+const ctxCheckStride = 1024
+
+// AnalyzeInPlace runs the analysis and returns the analyzer's internal
+// Result, valid until the next call on this analyzer. This is the
+// zero-allocation entry point of the fixed-point loop; callers that need
+// the result to outlive the next call must use Analyze. The context is
+// observed between tasks and every ctxCheckStride fixed-point
+// iterations, so a cancelled long LP-ILP solve returns promptly.
+func (a *Analyzer) AnalyzeInPlace(ctx context.Context, ts *model.TaskSet) (*Result, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := a.cfg
+	n := ts.N()
+	a.prologue()
 	a.ensure(n)
 	res := &a.res
 	res.Schedulable, res.Method, res.M = true, cfg.Method, cfg.M
@@ -420,6 +485,9 @@ func (a *Analyzer) AnalyzeInPlace(ts *model.TaskSet) (*Result, error) {
 	// scaled by m, accumulate in a.rm.
 
 	for k := 0; k < n; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		task := ts.Tasks[k]
 		tr := &res.Tasks[k]
 		*tr = TaskResult{Name: task.Name}
@@ -430,10 +498,6 @@ func (a *Analyzer) AnalyzeInPlace(ts *model.TaskSet) (*Result, error) {
 			continue
 		}
 		tr.Analyzed = true
-
-		l := a.longs[k]
-		vol := a.vols[k]
-		dm := m64 * task.Deadline
 
 		// Lower-priority blocking terms (independent of the window).
 		if cfg.Method != FPIdeal {
@@ -447,66 +511,92 @@ func (a *Analyzer) AnalyzeInPlace(ts *model.TaskSet) (*Result, error) {
 			tr.DeltaM, tr.DeltaM1 = in.DeltaM, in.DeltaM1
 		}
 
-		// Final-NPR refinement (future-work (ii)): iterate on the start
-		// time S of the unique sink and add its WCET afterwards. With
-		// sinkC = 0 this degenerates to the plain Equation (4) fixed
-		// point (the window is the full response time).
-		sinkC := int64(0)
-		if cfg.FinalNPRRefinement && cfg.Method != FPIdeal {
-			if sinks := task.G.Sinks(); len(sinks) == 1 && task.G.N() > 1 {
-				sinkC = task.G.WCET(sinks[0])
-			}
+		if err := a.solveTask(ctx, ts, k, tr); err != nil {
+			return nil, err
 		}
-		sinkCm := m64 * sinkC
-
-		// Sub-DAG quantities: with a single sink, every maximal path ends
-		// at it, so L' = L - sinkC and vol' = vol - sinkC exactly, and
-		// m·L' + (vol'-L') = m·(L-sinkC) + (vol-L).
-		base := m64*(l-sinkC) + (vol - l)
-		cur := base
-		q := int64(task.G.PreemptionPoints())
-		converged := false
-		for it := 1; it <= a.maxIter; it++ {
-			tr.Iterations = it
-			ihp := int64(0)
-			hk := int64(0)
-			for i := 0; i < k; i++ {
-				ihp += carryInWorkload(cur, a.rm[i], a.vols[i], ts.Tasks[i].Period, m64)
-				ti := m64 * ts.Tasks[i].Period
-				hk += (cur + ti - 1) / ti // ⌈S/T_i⌉ in scaled form
-			}
-			pk := q
-			if !cfg.DonationSafeBlocking {
-				pk = min(pk, hk)
-			}
-			ilp := int64(0)
-			if cfg.Method != FPIdeal {
-				ilp = tr.DeltaM
-				if !cfg.AblateRepeatedBlocking {
-					ilp += pk * tr.DeltaM1
-				}
-			}
-			next := base + m64*((ilp+ihp)/m64)
-			tr.Preemptions = pk
-			tr.InterferenceHP = ihp
-			tr.InterferenceLP = ilp
-			if next == cur {
-				converged = true
-				break
-			}
-			cur = next
-			if cur+sinkCm > dm {
-				break // bound exceeded; unschedulable
-			}
-		}
-		tr.ResponseTimeM = cur + sinkCm
-		tr.Schedulable = converged && tr.ResponseTimeM <= dm
 		if !tr.Schedulable {
 			res.Schedulable = false
 		}
-		a.rm[k] = tr.ResponseTimeM
 	}
 	return res, nil
+}
+
+// solveTask runs the Equation (1)/(4) fixed point for task k, whose
+// blocking terms (tr.DeltaM/DeltaM1) the caller has already filled in.
+// It reads the structural scratch (a.vols, a.longs) and the
+// higher-priority response bounds a.rm[:k], and writes the remaining
+// TaskResult fields plus a.rm[k]. Shared verbatim by the from-scratch
+// and incremental paths, which is what makes their results bit-identical
+// by construction.
+func (a *Analyzer) solveTask(ctx context.Context, ts *model.TaskSet, k int, tr *TaskResult) error {
+	cfg := a.cfg
+	task := ts.Tasks[k]
+	m64 := int64(cfg.M)
+	l := a.longs[k]
+	vol := a.vols[k]
+	dm := m64 * task.Deadline
+
+	// Final-NPR refinement (future-work (ii)): iterate on the start
+	// time S of the unique sink and add its WCET afterwards. With
+	// sinkC = 0 this degenerates to the plain Equation (4) fixed
+	// point (the window is the full response time).
+	sinkC := int64(0)
+	if cfg.FinalNPRRefinement && cfg.Method != FPIdeal {
+		if sinks := task.G.Sinks(); len(sinks) == 1 && task.G.N() > 1 {
+			sinkC = task.G.WCET(sinks[0])
+		}
+	}
+	sinkCm := m64 * sinkC
+
+	// Sub-DAG quantities: with a single sink, every maximal path ends
+	// at it, so L' = L - sinkC and vol' = vol - sinkC exactly, and
+	// m·L' + (vol'-L') = m·(L-sinkC) + (vol-L).
+	base := m64*(l-sinkC) + (vol - l)
+	cur := base
+	q := int64(task.G.PreemptionPoints())
+	converged := false
+	for it := 1; it <= a.maxIter; it++ {
+		if it%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		tr.Iterations = it
+		ihp := int64(0)
+		hk := int64(0)
+		for i := 0; i < k; i++ {
+			ihp += carryInWorkload(cur, a.rm[i], a.vols[i], ts.Tasks[i].Period, m64)
+			ti := m64 * ts.Tasks[i].Period
+			hk += (cur + ti - 1) / ti // ⌈S/T_i⌉ in scaled form
+		}
+		pk := q
+		if !cfg.DonationSafeBlocking {
+			pk = min(pk, hk)
+		}
+		ilp := int64(0)
+		if cfg.Method != FPIdeal {
+			ilp = tr.DeltaM
+			if !cfg.AblateRepeatedBlocking {
+				ilp += pk * tr.DeltaM1
+			}
+		}
+		next := base + m64*((ilp+ihp)/m64)
+		tr.Preemptions = pk
+		tr.InterferenceHP = ihp
+		tr.InterferenceLP = ilp
+		if next == cur {
+			converged = true
+			break
+		}
+		cur = next
+		if cur+sinkCm > dm {
+			break // bound exceeded; unschedulable
+		}
+	}
+	tr.ResponseTimeM = cur + sinkCm
+	tr.Schedulable = converged && tr.ResponseTimeM <= dm
+	a.rm[k] = tr.ResponseTimeM
+	return nil
 }
 
 // carryInWorkload evaluates W_i for an interferer with the given volume

@@ -1,7 +1,9 @@
 package rta
 
 import (
+	"context"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/blocking"
@@ -48,7 +50,7 @@ func mustSet(t *testing.T, tasks ...*model.Task) *model.TaskSet {
 func TestSingleTaskFPIdeal(t *testing.T) {
 	// Diamond (1,2,3,4): L = 8, vol = 10. On m = 2: R = L + (vol-L)/2 = 9.
 	ts := mustSet(t, &model.Task{Name: "d", G: diamond(1, 2, 3, 4), Deadline: 20, Period: 20})
-	res, err := Analyze(ts, Config{M: 2, Method: FPIdeal})
+	res, err := Analyze(context.Background(), ts, Config{M: 2, Method: FPIdeal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func TestSelfInterferenceRounding(t *testing.T) {
 		b.AddEdge(r, l)
 	}
 	ts := mustSet(t, &model.Task{Name: "s", G: b.MustBuild(), Deadline: 10, Period: 10})
-	res, err := Analyze(ts, Config{M: 3, Method: FPIdeal})
+	res, err := Analyze(context.Background(), ts, Config{M: 3, Method: FPIdeal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +103,7 @@ func TestSelfInterferenceRounding(t *testing.T) {
 func TestClassicUniprocessorRTA(t *testing.T) {
 	hi := &model.Task{Name: "hi", G: chain([]int64{2}), Deadline: 4, Period: 4}
 	lo := &model.Task{Name: "lo", G: chain([]int64{4}), Deadline: 20, Period: 20}
-	res, err := Analyze(mustSet(t, hi, lo), Config{M: 1, Method: FPIdeal})
+	res, err := Analyze(context.Background(), mustSet(t, hi, lo), Config{M: 1, Method: FPIdeal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +133,7 @@ func TestBlockingOnHighestPriorityTask(t *testing.T) {
 	b.AddEdge(r, y)
 	lo := &model.Task{Name: "lo", G: b.MustBuild(), Deadline: 100, Period: 100}
 
-	res, err := Analyze(mustSet(t, hi, lo), Config{M: 2, Method: LPILP})
+	res, err := Analyze(context.Background(), mustSet(t, hi, lo), Config{M: 2, Method: LPILP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +151,7 @@ func TestBlockingOnHighestPriorityTask(t *testing.T) {
 	}
 
 	// LP-max on the same set must use 10+7 as well (top-2 NPRs pooled).
-	resMax, err := Analyze(mustSet(t, hi, lo), Config{M: 2, Method: LPMax})
+	resMax, err := Analyze(context.Background(), mustSet(t, hi, lo), Config{M: 2, Method: LPMax})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,8 +165,8 @@ func TestLPILPTighterThanLPMaxOnSequentialBlockers(t *testing.T) {
 	// NPRs of the same task in parallel, LP-ILP may not.
 	hi := &model.Task{Name: "hi", G: chain([]int64{2}), Deadline: 60, Period: 60}
 	lo := &model.Task{Name: "lo", G: chain([]int64{9, 8}), Deadline: 100, Period: 100}
-	setILP, _ := Analyze(mustSet(t, hi, lo), Config{M: 2, Method: LPILP})
-	setMax, _ := Analyze(mustSet(t, hi, lo), Config{M: 2, Method: LPMax})
+	setILP, _ := Analyze(context.Background(), mustSet(t, hi, lo), Config{M: 2, Method: LPILP})
+	setMax, _ := Analyze(context.Background(), mustSet(t, hi, lo), Config{M: 2, Method: LPMax})
 	// LP-ILP: only one NPR of the chain can block at a time → Δ² = 9.
 	if got := setILP.Tasks[0].DeltaM; got != 9 {
 		t.Errorf("LP-ILP Δ² = %d, want 9", got)
@@ -186,7 +188,7 @@ func TestPreemptionCapByNodes(t *testing.T) {
 	hi := &model.Task{Name: "hi", G: chain([]int64{1}), Deadline: 12, Period: 12}
 	mid := &model.Task{Name: "mid", G: chain([]int64{4, 4}), Deadline: 60, Period: 60}
 	lo := &model.Task{Name: "lo", G: chain([]int64{5, 6}), Deadline: 80, Period: 80}
-	res, err := Analyze(mustSet(t, hi, mid, lo), Config{M: 2, Method: LPILP})
+	res, err := Analyze(context.Background(), mustSet(t, hi, mid, lo), Config{M: 2, Method: LPILP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +205,7 @@ func TestInfeasibleTaskUnschedulable(t *testing.T) {
 	// L > D: cannot be schedulable under any method.
 	bad := &model.Task{Name: "bad", G: chain([]int64{30}), Deadline: 10, Period: 10}
 	for _, m := range []Method{FPIdeal, LPMax, LPILP} {
-		res, err := Analyze(mustSet(t, bad), Config{M: 4, Method: m})
+		res, err := Analyze(context.Background(), mustSet(t, bad), Config{M: 4, Method: m})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +218,7 @@ func TestInfeasibleTaskUnschedulable(t *testing.T) {
 func TestLowerTasksUnanalyzedAfterFailure(t *testing.T) {
 	bad := &model.Task{Name: "bad", G: chain([]int64{30}), Deadline: 10, Period: 10}
 	next := &model.Task{Name: "next", G: chain([]int64{1}), Deadline: 50, Period: 50}
-	res, err := Analyze(mustSet(t, bad, next), Config{M: 2, Method: FPIdeal})
+	res, err := Analyze(context.Background(), mustSet(t, bad, next), Config{M: 2, Method: FPIdeal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,11 +235,11 @@ func TestLowerTasksUnanalyzedAfterFailure(t *testing.T) {
 
 func TestConfigErrors(t *testing.T) {
 	ts := mustSet(t, &model.Task{Name: "x", G: chain([]int64{1}), Deadline: 5, Period: 5})
-	if _, err := Analyze(ts, Config{M: 0, Method: FPIdeal}); err == nil {
+	if _, err := Analyze(context.Background(), ts, Config{M: 0, Method: FPIdeal}); err == nil {
 		t.Error("M = 0 accepted")
 	}
 	bad := &model.TaskSet{}
-	if _, err := Analyze(bad, Config{M: 1, Method: FPIdeal}); err == nil {
+	if _, err := Analyze(context.Background(), bad, Config{M: 1, Method: FPIdeal}); err == nil {
 		t.Error("invalid task set accepted")
 	}
 }
@@ -250,15 +252,15 @@ func TestMethodOrdering(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		ts := randomTaskSet(rng, 2+rng.Intn(4))
 		m := 2 + rng.Intn(3)
-		ideal, err := Analyze(ts, Config{M: m, Method: FPIdeal})
+		ideal, err := Analyze(context.Background(), ts, Config{M: m, Method: FPIdeal})
 		if err != nil {
 			t.Fatal(err)
 		}
-		lilp, err := Analyze(ts, Config{M: m, Method: LPILP})
+		lilp, err := Analyze(context.Background(), ts, Config{M: m, Method: LPILP})
 		if err != nil {
 			t.Fatal(err)
 		}
-		lmax, err := Analyze(ts, Config{M: m, Method: LPMax})
+		lmax, err := Analyze(context.Background(), ts, Config{M: m, Method: LPMax})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -293,11 +295,11 @@ func TestBackendsAgreeEndToEnd(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		ts := randomTaskSet(rng, 2+rng.Intn(3))
 		m := 2 + rng.Intn(3)
-		a, err := Analyze(ts, Config{M: m, Method: LPILP, Backend: blocking.Combinatorial})
+		a, err := Analyze(context.Background(), ts, Config{M: m, Method: LPILP, Backend: blocking.Combinatorial})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Analyze(ts, Config{M: m, Method: LPILP, Backend: blocking.PaperILP})
+		b, err := Analyze(context.Background(), ts, Config{M: m, Method: LPILP, Backend: blocking.PaperILP})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -318,7 +320,7 @@ func TestBackendsAgreeEndToEnd(t *testing.T) {
 // highest-priority task against the paper's Δ values.
 func TestFixtureEndToEnd(t *testing.T) {
 	ts := fixture.TaskSet()
-	lilp, err := Analyze(ts, Config{M: fixture.M, Method: LPILP})
+	lilp, err := Analyze(context.Background(), ts, Config{M: fixture.M, Method: LPILP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +330,7 @@ func TestFixtureEndToEnd(t *testing.T) {
 	if got := lilp.Tasks[0].DeltaM1; got != fixture.DeltaILP3 {
 		t.Errorf("τk Δ³ = %d, want %d", got, fixture.DeltaILP3)
 	}
-	lmax, err := Analyze(ts, Config{M: fixture.M, Method: LPMax})
+	lmax, err := Analyze(context.Background(), ts, Config{M: fixture.M, Method: LPMax})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +347,7 @@ func TestResponseDecreasesWithCoresFPIdeal(t *testing.T) {
 		ts := randomTaskSet(rng, 1+rng.Intn(3))
 		var prev int64 = 1 << 62
 		for m := 1; m <= 8; m *= 2 {
-			res, err := Analyze(ts, Config{M: m, Method: FPIdeal})
+			res, err := Analyze(context.Background(), ts, Config{M: m, Method: FPIdeal})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -422,11 +424,11 @@ func TestFinalNPRRefinementTightens(t *testing.T) {
 		ts := randomTaskSet(rng, 2+rng.Intn(3))
 		m := 2 + rng.Intn(3)
 		for _, method := range []Method{LPMax, LPILP} {
-			plain, err := Analyze(ts, Config{M: m, Method: method})
+			plain, err := Analyze(context.Background(), ts, Config{M: m, Method: method})
 			if err != nil {
 				t.Fatal(err)
 			}
-			refined, err := Analyze(ts, Config{M: m, Method: method, FinalNPRRefinement: true})
+			refined, err := Analyze(context.Background(), ts, Config{M: m, Method: method, FinalNPRRefinement: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -463,11 +465,11 @@ func TestFinalNPRRefinementTightens(t *testing.T) {
 func TestFinalNPRRefinementHandComputed(t *testing.T) {
 	hi := &model.Task{Name: "hi", G: chain([]int64{2}), Deadline: 14, Period: 14}
 	lo := &model.Task{Name: "lo", G: chain([]int64{4, 6}), Deadline: 40, Period: 40}
-	plain, err := Analyze(mustSet(t, hi, lo), Config{M: 1, Method: LPILP})
+	plain, err := Analyze(context.Background(), mustSet(t, hi, lo), Config{M: 1, Method: LPILP})
 	if err != nil {
 		t.Fatal(err)
 	}
-	refined, err := Analyze(mustSet(t, hi, lo), Config{M: 1, Method: LPILP, FinalNPRRefinement: true})
+	refined, err := Analyze(context.Background(), mustSet(t, hi, lo), Config{M: 1, Method: LPILP, FinalNPRRefinement: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -492,11 +494,11 @@ func TestAblateRepeatedBlocking(t *testing.T) {
 	hi := &model.Task{Name: "hi", G: chain([]int64{1}), Deadline: 12, Period: 12}
 	mid := &model.Task{Name: "mid", G: chain([]int64{4, 4}), Deadline: 60, Period: 60}
 	lo := &model.Task{Name: "lo", G: chain([]int64{5, 6}), Deadline: 80, Period: 80}
-	full, err := Analyze(mustSet(t, hi, mid, lo), Config{M: 2, Method: LPILP})
+	full, err := Analyze(context.Background(), mustSet(t, hi, mid, lo), Config{M: 2, Method: LPILP})
 	if err != nil {
 		t.Fatal(err)
 	}
-	abl, err := Analyze(mustSet(t, hi, mid, lo), Config{M: 2, Method: LPILP, AblateRepeatedBlocking: true})
+	abl, err := Analyze(context.Background(), mustSet(t, hi, mid, lo), Config{M: 2, Method: LPILP, AblateRepeatedBlocking: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -506,5 +508,41 @@ func TestAblateRepeatedBlocking(t *testing.T) {
 	}
 	if abl.Tasks[1].InterferenceLP >= full.Tasks[1].InterferenceLP {
 		t.Fatal("ablation did not remove the repeated-blocking term")
+	}
+}
+
+// TestConfigValidationErrors pins the rta-level half of the
+// error-message contract: Config validation names the offending field
+// (Config.M, not "cores") and value, consistently with core.Options.
+func TestConfigValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"zero cores", Config{M: 0, Method: LPILP}, "invalid Config.M: 0"},
+		{"negative cores", Config{M: -1, Method: LPILP}, "invalid Config.M: -1"},
+		{"bad method", Config{M: 4, Method: Method(42)}, "invalid Config.Method: Method(42)"},
+		{"bad backend", Config{M: 4, Method: LPILP, Backend: blocking.Backend(9)}, "invalid Config.Backend: Backend(9)"},
+		{"negative max iterations", Config{M: 4, Method: LPILP, MaxIterations: -5}, "invalid Config.MaxIterations: -5"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewAnalyzer(tc.cfg)
+			if err == nil {
+				t.Fatalf("NewAnalyzer(%+v) succeeded, want error containing %q", tc.cfg, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("NewAnalyzer(%+v) error = %q, want it to contain %q", tc.cfg, err, tc.want)
+			}
+			a, aerr := NewAnalyzer(Config{M: 1, Method: FPIdeal})
+			if aerr != nil {
+				t.Fatal(aerr)
+			}
+			rerr := a.Reconfigure(tc.cfg)
+			if rerr == nil || rerr.Error() != err.Error() {
+				t.Errorf("Reconfigure error %q differs from NewAnalyzer error %q", rerr, err)
+			}
+		})
 	}
 }

@@ -1,6 +1,7 @@
 package seqlp
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -148,7 +149,7 @@ func TestDAGAnalysisDominates(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		dagRes, err := rta.Analyze(toDAGSet(t, tasks), rta.Config{M: m, Method: rta.LPILP})
+		dagRes, err := rta.Analyze(context.Background(), toDAGSet(t, tasks), rta.Config{M: m, Method: rta.LPILP})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,346 @@
+// Package session implements long-lived analysis sessions: the stateful
+// what-if / admission-control surface of the lpdag API.
+//
+// A Session holds a priority-ordered task set plus analysis options and
+// answers queries against them: the current Report, admission probes
+// (TryAdmit — analyze-without-commit), and per-task sensitivity. Edits
+// (AddTask, RemoveTask, SetPriority, SetCores, SetMethod) mutate the
+// held set; the next query re-analyzes it incrementally via
+// rta.(*Analyzer).AnalyzeIncremental, which reuses the suffix-aggregate
+// checkpoints and per-task fixed points of the previous analysis for
+// everything the edit did not touch. Reports are bit-identical to a
+// from-scratch lpdag.Analyze of the same set (quick-checked by
+// TestSessionEditSequenceEquivalence).
+//
+// A Session serializes its operations internally and is safe for
+// concurrent use; the expensive state (one rta.Analyzer with its scratch
+// arenas and checkpoints) lives for the session's lifetime, which is
+// what makes per-edit cost proportional to what changed instead of to
+// the set size. The engine's SessionRegistry adds bounded count and TTL
+// eviction for the serving path.
+package session
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rta"
+)
+
+// Session is a long-lived, incrementally re-analyzed task set. Create
+// with New; a zero Session is not usable. Tasks handed to a session are
+// treated as immutable — edit by removing and re-adding, never by
+// mutating a *Task in place.
+type Session struct {
+	mu    sync.Mutex
+	opts  core.Options
+	tasks []*model.Task
+	an    *rta.Analyzer
+	rep   *core.Report // memoized committed report; nil when stale
+}
+
+// New validates the options and initial tasks (highest priority first;
+// an empty initial set is allowed — admission control often starts from
+// nothing) and returns a ready Session.
+func New(opts core.Options, tasks ...*model.Task) (*Session, error) {
+	if err := core.ValidateOptions(opts); err != nil {
+		return nil, err
+	}
+	an, err := rta.NewAnalyzer(core.RTAConfig(opts))
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{opts: opts, an: an}
+	for _, t := range tasks {
+		if err := s.addLocked(t, len(s.tasks)); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Options returns the session's current analysis options.
+func (s *Session) Options() core.Options {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opts
+}
+
+// Len returns the number of tasks held.
+func (s *Session) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tasks)
+}
+
+// Tasks returns a copy of the held priority ordering.
+func (s *Session) Tasks() []*model.Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*model.Task(nil), s.tasks...)
+}
+
+// TaskIndex returns the priority index of the named task, -1 when
+// absent. Session task names are unique (AddTask enforces it).
+func (s *Session) TaskIndex(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.indexLocked(name)
+}
+
+func (s *Session) indexLocked(name string) int {
+	for i, t := range s.tasks {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// addLocked validates and inserts t at priority index at.
+func (s *Session) addLocked(t *model.Task, at int) error {
+	if t == nil {
+		return fmt.Errorf("session: invalid task: nil")
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if at == -1 {
+		at = len(s.tasks)
+	}
+	if at < 0 || at > len(s.tasks) {
+		return fmt.Errorf("session: invalid at: %d (must be in [0, %d] or -1)", at, len(s.tasks))
+	}
+	for _, u := range s.tasks {
+		if u == t {
+			return fmt.Errorf("session: invalid task: %q is already in the session (tasks are immutable; add a fresh copy)", t.Name)
+		}
+		if u.Name == t.Name {
+			return fmt.Errorf("session: invalid task: duplicate name %q", t.Name)
+		}
+	}
+	s.tasks = append(s.tasks, nil)
+	copy(s.tasks[at+1:], s.tasks[at:])
+	s.tasks[at] = t
+	s.rep = nil
+	return nil
+}
+
+// AddTask inserts t at priority index at (0 = highest; -1 or len =
+// lowest). The edit is O(1); the next query pays the incremental
+// re-analysis.
+func (s *Session) AddTask(t *model.Task, at int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addLocked(t, at)
+}
+
+// RemoveTask removes and returns the task at priority index i.
+func (s *Session) RemoveTask(i int) (*model.Task, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.removeLocked(i)
+}
+
+func (s *Session) removeLocked(i int) (*model.Task, error) {
+	if i < 0 || i >= len(s.tasks) {
+		return nil, fmt.Errorf("session: invalid index: %d (must be in [0, %d])", i, len(s.tasks)-1)
+	}
+	t := s.tasks[i]
+	s.tasks = append(s.tasks[:i], s.tasks[i+1:]...)
+	s.rep = nil
+	return t, nil
+}
+
+// SetPriority moves the task at index from to index to (its position in
+// the resulting ordering), shifting the tasks in between.
+func (s *Session) SetPriority(from, to int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.setPriorityLocked(from, to)
+}
+
+func (s *Session) setPriorityLocked(from, to int) error {
+	n := len(s.tasks)
+	if from < 0 || from >= n {
+		return fmt.Errorf("session: invalid from: %d (must be in [0, %d])", from, n-1)
+	}
+	if to < 0 || to >= n {
+		return fmt.Errorf("session: invalid to: %d (must be in [0, %d])", to, n-1)
+	}
+	if from == to {
+		return nil
+	}
+	t := s.tasks[from]
+	s.tasks = append(s.tasks[:from], s.tasks[from+1:]...)
+	s.tasks = append(s.tasks, nil)
+	copy(s.tasks[to+1:], s.tasks[to:])
+	s.tasks[to] = t
+	s.rep = nil
+	return nil
+}
+
+// SetCores changes the core count m.
+func (s *Session) SetCores(m int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	opts := s.opts
+	opts.Cores = m
+	return s.setOptionsLocked(opts)
+}
+
+// SetMethod changes the analysis variant.
+func (s *Session) SetMethod(method core.Method) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	opts := s.opts
+	opts.Method = method
+	return s.setOptionsLocked(opts)
+}
+
+// setOptionsLocked validates and installs new options, reconfiguring
+// the analyzer (which invalidates its incremental state — a parameter
+// change invalidates everything, unlike a task edit).
+func (s *Session) setOptionsLocked(opts core.Options) error {
+	if err := core.ValidateOptions(opts); err != nil {
+		return err
+	}
+	if err := s.an.Reconfigure(core.RTAConfig(opts)); err != nil {
+		return err
+	}
+	s.opts = opts
+	s.rep = nil
+	return nil
+}
+
+// Report returns the analysis of the session's current task set,
+// computing it incrementally when an edit made the memoized one stale.
+// The returned Report is shared; treat it as read-only.
+func (s *Session) Report(ctx context.Context) (*core.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rep != nil {
+		return s.rep, nil
+	}
+	rep, err := s.analyzeLocked(ctx, s.tasks)
+	if err != nil {
+		return nil, err
+	}
+	s.rep = rep
+	return rep, nil
+}
+
+// TryAdmit answers the admission-control question "could this task be
+// admitted at priority at?" without committing anything: it analyzes
+// the hypothetical set and returns its report (Report.Schedulable is
+// the admission verdict). at follows AddTask's convention (-1 =
+// lowest). The session's committed set is unchanged; the trial shares
+// the session's incremental state, so a probe costs what it touches,
+// and so does the next committed query.
+func (s *Session) TryAdmit(ctx context.Context, t *model.Task, at int) (*core.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t == nil {
+		return nil, fmt.Errorf("session: invalid task: nil")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if at == -1 {
+		at = len(s.tasks)
+	}
+	if at < 0 || at > len(s.tasks) {
+		return nil, fmt.Errorf("session: invalid at: %d (must be in [0, %d] or -1)", at, len(s.tasks))
+	}
+	for _, u := range s.tasks {
+		if u.Name == t.Name {
+			return nil, fmt.Errorf("session: invalid task: duplicate name %q", t.Name)
+		}
+	}
+	trial := make([]*model.Task, 0, len(s.tasks)+1)
+	trial = append(trial, s.tasks[:at]...)
+	trial = append(trial, t)
+	trial = append(trial, s.tasks[at:]...)
+	return s.analyzeLocked(ctx, trial)
+}
+
+// Sensitivity returns the largest WCET scaling factor (in permille,
+// like core.CriticalScaling) that the task at priority index i can
+// sustain — every node WCET of that task alone multiplied, the rest of
+// the set untouched — with the whole set staying schedulable, searching
+// [1, maxPermille] by bisection. 0 means the set is not schedulable
+// even with the task's WCETs scaled to (essentially) nothing. Each
+// probe differs from the previous one in a single task, which is
+// exactly the shape the incremental analyzer is cheap at.
+func (s *Session) Sensitivity(ctx context.Context, i, maxPermille int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.tasks) {
+		return 0, fmt.Errorf("session: invalid index: %d (must be in [0, %d])", i, len(s.tasks)-1)
+	}
+	if maxPermille < 1 {
+		return 0, fmt.Errorf("session: invalid maxPermille: %d (must be ≥ 1)", maxPermille)
+	}
+	probe := func(permille int) (bool, error) {
+		scaled, err := core.ScaleTask(s.tasks[i], permille)
+		if err != nil {
+			return false, err
+		}
+		trial := append([]*model.Task(nil), s.tasks...)
+		trial[i] = scaled
+		rep, err := s.analyzeLocked(ctx, trial)
+		if err != nil {
+			return false, err
+		}
+		return rep.Schedulable, nil
+	}
+	ok, err := probe(1)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	if ok, err = probe(maxPermille); err != nil {
+		return 0, err
+	} else if ok {
+		return maxPermille, nil
+	}
+	lo, hi := 1, maxPermille // invariant: lo schedulable, hi not
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		ok, err := probe(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// analyzeLocked runs the incremental analysis of an arbitrary ordering
+// (committed or trial) under the session lock. An empty set is trivially
+// schedulable.
+func (s *Session) analyzeLocked(ctx context.Context, tasks []*model.Task) (*core.Report, error) {
+	if len(tasks) == 0 {
+		return &core.Report{
+			Schedulable: true,
+			Method:      s.opts.Method,
+			Cores:       s.opts.Cores,
+			Tasks:       []core.TaskReport{},
+		}, nil
+	}
+	ts := &model.TaskSet{Tasks: tasks}
+	res, err := s.an.AnalyzeIncremental(ctx, ts)
+	if err != nil {
+		return nil, err
+	}
+	return core.ReportOf(res, ts), nil
+}

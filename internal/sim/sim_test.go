@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"strings"
@@ -297,7 +298,7 @@ func TestAnalysisIsUpperBound(t *testing.T) {
 		ts := g.TaskSet(0.8 + rng.Float64()*1.2)
 		m := 2 + rng.Intn(3)
 		for _, method := range []rta.Method{rta.LPMax, rta.LPILP} {
-			ana, err := rta.Analyze(ts, rta.Config{M: m, Method: method})
+			ana, err := rta.Analyze(context.Background(), ts, rta.Config{M: m, Method: method})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -29,14 +29,26 @@
 //	...
 //	an, err := lpdag.NewAnalyzer(lpdag.Options{Cores: 4, Method: lpdag.LPILP})
 //	...
-//	report, err := an.Analyze(ts)
+//	report, err := an.Analyze(ctx, ts)
 //	fmt.Print(report)
+//
+// For interactive what-if and admission-control workloads, hold a
+// Session instead of re-analyzing: edits (add/remove/reprioritize a
+// task, change the core count) are absorbed statefully and each query
+// re-analyzes only what the edits touched:
+//
+//	s, err := lpdag.NewSession(lpdag.Options{Cores: 4, Method: lpdag.LPILP}, tasks...)
+//	...
+//	verdict, err := s.TryAdmit(ctx, newTask, -1) // admission probe, no commit
+//	_ = s.AddTask(newTask, -1)                   // commit it
+//	report, err := s.Report(ctx)
 //
 // See examples/ for complete programs and DESIGN.md for the mapping from
 // the paper's equations to the implementation.
 package lpdag
 
 import (
+	"context"
 	"io"
 	"net/http"
 
@@ -51,8 +63,8 @@ import (
 	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/ppp"
-	"repro/internal/rta"
 	"repro/internal/seqlp"
+	"repro/internal/session"
 	"repro/internal/sim"
 )
 
@@ -229,23 +241,64 @@ func PaperExample() *TaskSet { return fixture.TaskSet() }
 func PaperExampleGraphs() []*Graph { return fixture.LowerPriorityGraphs() }
 
 // Analyze is a one-shot convenience: analyze ts on the given core count
-// with the given method and the default solver backend.
+// with the given method and the default solver backend. Callers needing
+// cancellation, non-default options, or warm scratch reuse should hold
+// an Analyzer and call its context-aware Analyze.
 func Analyze(ts *TaskSet, cores int, method Method) (*Report, error) {
 	a, err := NewAnalyzer(Options{Cores: cores, Method: method})
 	if err != nil {
 		return nil, err
 	}
-	return a.Analyze(ts)
+	return a.Analyze(context.Background(), ts)
 }
 
 // AnalyzeRefined is Analyze with the final-NPR refinement enabled (the
 // paper's future-work item (ii)): for single-sink tasks, interference is
 // accounted only until the start of the non-preemptable final region.
 // The refined bound never exceeds the plain one.
-func AnalyzeRefined(ts *TaskSet, cores int, method Method) (*rta.Result, error) {
-	return rta.Analyze(ts, rta.Config{
-		M: cores, Method: method, FinalNPRRefinement: true,
-	})
+//
+// Deprecated: set Options.FinalNPRRefinement instead — every analysis
+// path now returns the one Report shape (this function used to leak the
+// internal rta result type). The alias will be removed one release
+// after the session API.
+func AnalyzeRefined(ts *TaskSet, cores int, method Method) (*Report, error) {
+	a, err := NewAnalyzer(Options{Cores: cores, Method: method, FinalNPRRefinement: true})
+	if err != nil {
+		return nil, err
+	}
+	return a.Analyze(context.Background(), ts)
+}
+
+// Session types (see internal/session and internal/engine): the
+// stateful what-if / admission-control API. A Session holds a task set
+// and options, absorbs edits, and answers queries at a cost
+// proportional to what each edit touched (suffix-aggregate checkpoints
+// and per-task fixed points of the previous analysis are reused for
+// everything else). Reports are bit-identical to a from-scratch
+// Analyze of the same set.
+type (
+	// Session is a long-lived, incrementally re-analyzed task set.
+	Session = session.Session
+	// SessionEdit is one element of a transactional Session.Apply batch.
+	SessionEdit = session.Edit
+	// SessionRegistry owns the live sessions of an engine: bounded
+	// count, TTL eviction, id lookup; the lpdag-serve /v1/sessions
+	// endpoints are its HTTP face.
+	SessionRegistry = engine.SessionRegistry
+	// SessionRegistryConfig bounds a SessionRegistry.
+	SessionRegistryConfig = engine.SessionRegistryConfig
+)
+
+// NewSession validates the options and initial tasks (highest priority
+// first; empty is allowed) and returns a ready Session.
+func NewSession(opts Options, tasks ...*Task) (*Session, error) {
+	return session.New(opts, tasks...)
+}
+
+// NewSessionRegistry returns a session registry whose analyses share
+// the engine's cache and worker pool.
+func NewSessionRegistry(e *Engine, cfg SessionRegistryConfig) *SessionRegistry {
+	return engine.NewSessionRegistry(e, cfg)
 }
 
 // Service types (see internal/engine): the long-running concurrent

@@ -71,11 +71,11 @@ func TestFacadeGeneratorAndJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := a.Analyze(ts)
+	r1, err := a.Analyze(context.Background(), ts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := a.Analyze(back)
+	r2, err := a.Analyze(context.Background(), back)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestFacadeCriticalScaling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	alpha, err := a.CriticalScaling(ts, 20000)
+	alpha, err := a.CriticalScaling(context.Background(), ts, 20000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestFacadeSharedCache(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cached, err := a.Analyze(ts)
+		cached, err := a.Analyze(context.Background(), ts)
 		if err != nil {
 			t.Fatal(err)
 		}
