@@ -31,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -39,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/experiments/cluster"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -83,9 +86,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		soundness = fs.Bool("soundness", false, "run the simulation-vs-analysis soundness harness")
 		points    = fs.Int("points", 1000, "generated points for -soundness")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve GET /metrics (Prometheus text) on this address while the run is active; empty = disabled")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// A long campaign (local or coordinating a cluster) is watchable
+	// from outside: -metrics-addr serves the lpdag_campaign_* and
+	// lpdag_cluster_lease_* series on a side listener for its duration.
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		reg.RegisterRuntime(time.Now())
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "lpdag-experiments: -metrics-addr: %v\n", err)
+			return 2
+		}
+		defer mln.Close()
+		mmux := http.NewServeMux()
+		mmux.Handle("GET /metrics", reg.Handler())
+		fmt.Fprintf(stderr, "lpdag-experiments: metrics on http://%s/metrics\n", mln.Addr())
+		msrv := &http.Server{Handler: mmux, ReadHeaderTimeout: 10 * time.Second}
+		go msrv.Serve(mln)
 	}
 
 	var be core.Backend
@@ -126,7 +151,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			jsonlPath: *jsonlPath, csvPath: *csvPath, resume: *resume,
 			progress: *progress, cluster: *clusterHosts,
 			leaseTimeout: *leaseTimeout, shardRetries: *shardRetries,
-			maxLease: *maxLease,
+			maxLease: *maxLease, obs: reg,
 		}, stdout, stderr)
 		if code != 0 {
 			return code
@@ -259,6 +284,7 @@ type campaignArgs struct {
 	leaseTimeout          time.Duration
 	shardRetries          int
 	maxLease              int
+	obs                   *obs.Registry
 }
 
 func runCampaign(a campaignArgs, stdout, stderr io.Writer) int {
@@ -286,7 +312,7 @@ func runCampaign(a campaignArgs, stdout, stderr io.Writer) int {
 		Scenarios: scens, Backend: a.backend, Workers: a.workers, Shards: a.shards,
 	}
 
-	opts := experiments.RunOptions{}
+	opts := experiments.RunOptions{Obs: a.obs}
 	if a.resume != "" {
 		f, err := os.Open(a.resume)
 		if err != nil {

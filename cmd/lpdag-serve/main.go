@@ -18,6 +18,8 @@
 //	GET  /healthz      liveness probe ("ok", or "draining" + 503 once
 //	                   SIGTERM drain begins) with worker load
 //	GET  /stats        engine + cache + worker counters
+//	GET  /metrics      Prometheus text exposition: engine pool, cache,
+//	                   sessions, campaign/cluster, HTTP, analysis traces
 //
 // Stateful what-if / admission-control sessions (each holds a task set
 // server-side and re-analyzes incrementally per edit; see DESIGN.md,
@@ -41,6 +43,10 @@
 //	  ]}}]
 //	}'
 //
+// Every request emits one structured log line on stderr (method, route,
+// status, latency, bytes; -log-format json|text, slower-than
+// -slow-request logs at Warn).
+//
 // Profiling is opt-in: -pprof-addr localhost:6060 serves net/http/pprof
 // on a separate listener (keep it on loopback or behind a firewall; it
 // is never mounted on the service address).
@@ -54,6 +60,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -65,6 +72,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/experiments/cluster"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -96,6 +104,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		heartbeat      = fs.Duration("heartbeat", cluster.DefaultHeartbeat, "shard-stream keepalive interval; must stay well below every coordinator's -lease-timeout, or slow points are mistaken for dead workers")
 		drainGrace     = fs.Duration("drain-grace", 0, "after SIGTERM, keep serving this long with /healthz reporting draining so coordinators reroute before the listener closes")
 
+		// Observability: structured request logging + /metrics exposition.
+		logFormat = fs.String("log-format", "text", "request log format: text | json")
+		slowReq   = fs.Duration("slow-request", engine.DefaultSlowRequest, "log requests slower than this at Warn level")
+
 		// Profiling: net/http/pprof on a SEPARATE listener, opt-in, so the
 		// profile surface is never exposed on the service address.
 		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
@@ -104,8 +116,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var logger *slog.Logger
+	switch *logFormat {
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(stderr, nil))
+	case "text":
+		logger = slog.New(slog.NewTextHandler(stderr, nil))
+	default:
+		fmt.Fprintf(stderr, "lpdag-serve: unknown -log-format %q (want text or json)\n", *logFormat)
+		return 2
+	}
+
+	reg := obs.NewRegistry()
 	eng := engine.New(engine.Config{
 		Workers: *workers, QueueDepth: *queue, CacheEntries: *cacheSize,
+		Obs: reg,
 	})
 	defer eng.Close()
 
@@ -164,8 +189,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxPoints: *maxShardPoints, Heartbeat: *heartbeat, Load: engSrv,
 	}))
 	mux.Handle("/", engSrv)
+	// The logging/metrics middleware wraps the WHOLE outer mux, so
+	// campaign and shard streams are logged and counted exactly like the
+	// engine endpoints (the route label is the innermost mux pattern).
 	srv := &http.Server{
-		Handler:           mux,
+		Handler:           engine.LogRequests(mux, logger, reg, *slowReq),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Fprintf(stderr, "lpdag-serve: listening on %s\n", ln.Addr())

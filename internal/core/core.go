@@ -13,6 +13,7 @@ import (
 	"repro/internal/blocking"
 	"repro/internal/engine/cache"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rta"
 )
 
@@ -67,6 +68,11 @@ type Options struct {
 	// overlapping task sets cheap; verdicts are identical with or
 	// without it.
 	Cache *cache.Cache
+
+	// Trace, when non-nil, records analysis-phase span timings into its
+	// histograms (see obs.NewTrace). Nil means tracing off; results are
+	// identical either way.
+	Trace *obs.Trace
 }
 
 // Analyzer runs the response-time analysis with fixed options. It is
@@ -128,6 +134,7 @@ func RTAConfig(opts Options) rta.Config {
 		Backend:            opts.Backend,
 		FinalNPRRefinement: opts.FinalNPRRefinement,
 		Cache:              opts.Cache,
+		Trace:              opts.Trace,
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/blocking"
 	"repro/internal/dag"
@@ -77,9 +78,14 @@ type Cache struct {
 	lru        *list.List // front = most recently used
 	maxEntries int
 
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	// Counters live outside mu so a /metrics scrape under load reads
+	// them without contending with the analysis hot path. count mirrors
+	// len(entries) (updated under mu, read without it) for the same
+	// reason.
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	count     atomic.Int64
 }
 
 // New returns a Cache bounded to maxEntries values (DefaultMaxEntries
@@ -95,15 +101,16 @@ func New(maxEntries int) *Cache {
 	}
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. It takes no lock: each
+// counter is read atomically, so the snapshot is not a single linearized
+// point in time, but every counter is individually exact and monotone —
+// which is what scrapers difference anyway.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   len(c.entries),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int(c.count.Load()),
 	}
 }
 
@@ -115,7 +122,7 @@ func (c *Cache) Stats() Stats {
 func (c *Cache) do(key string, fn func() any) any {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
-		c.hits++
+		c.hits.Add(1)
 		if e.elem != nil {
 			c.lru.MoveToFront(e.elem)
 		}
@@ -123,9 +130,10 @@ func (c *Cache) do(key string, fn func() any) any {
 		<-e.ready
 		return e.val
 	}
-	c.misses++
+	c.misses.Add(1)
 	e := &entry{key: key, ready: make(chan struct{})}
 	c.entries[key] = e
+	c.count.Add(1)
 	c.mu.Unlock()
 
 	defer func() {
@@ -135,6 +143,7 @@ func (c *Cache) do(key string, fn func() any) any {
 			// misuse, but a stuck channel would deadlock the server).
 			c.mu.Lock()
 			delete(c.entries, key)
+			c.count.Add(-1)
 			c.mu.Unlock()
 			close(e.ready)
 			panic(r)
@@ -149,7 +158,8 @@ func (c *Cache) do(key string, fn func() any) any {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*entry).key)
-		c.evictions++
+		c.count.Add(-1)
+		c.evictions.Add(1)
 	}
 	c.mu.Unlock()
 	return e.val

@@ -233,3 +233,59 @@ func TestConcurrentHammer(t *testing.T) {
 		t.Fatalf("post-hammer interference %+v, want %+v", got, want)
 	}
 }
+
+// TestConcurrentStatsScrape hammers lookups while dedicated goroutines
+// scrape Stats() in a tight loop — the /metrics-under-load shape. With
+// the counters on atomics the scrape never takes the cache lock; -race
+// certifies the combination, and the final snapshot must balance:
+// monotone counters, hits+misses equal to the lookups issued, and the
+// entry count within the LRU bound.
+func TestConcurrentStatsScrape(t *testing.T) {
+	c := New(8)
+	graphs := fixture.LowerPriorityGraphs()
+	const workers, iters = 8, 200
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			var prev Stats
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					got := c.Stats()
+					if got.Hits < prev.Hits || got.Misses < prev.Misses || got.Evictions < prev.Evictions {
+						t.Errorf("counters went backwards: %+v after %+v", got, prev)
+						return
+					}
+					prev = got
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				g := graphs[(w+i)%len(graphs)]
+				c.MuTable(g, fixture.M, blocking.Combinatorial)
+				c.TopNPRs(g, fixture.M)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+	s := c.Stats()
+	if got, want := s.Hits+s.Misses, uint64(workers*iters*2); got != want {
+		t.Errorf("hits+misses = %d, want %d lookups", got, want)
+	}
+	if s.Entries < 0 || s.Entries > 8 {
+		t.Errorf("entries = %d, want within LRU bound 8", s.Entries)
+	}
+}

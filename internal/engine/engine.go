@@ -18,11 +18,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine/cache"
 	"repro/internal/gen"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -39,6 +41,12 @@ type Config struct {
 	// CacheEntries bounds the shared result cache (0 =
 	// cache.DefaultMaxEntries). Negative disables caching.
 	CacheEntries int
+	// Obs, when non-nil, is the metric registry the engine instruments
+	// itself into: pool gauges and counters, per-kind job latency
+	// histograms, cache counters, and the analysis-phase trace threaded
+	// down to the rta layer. Nil — the default — means no metrics and
+	// no overhead beyond one nil check per job.
+	Obs *obs.Registry
 }
 
 // JobKind labels the work a job carries, for the stats counters.
@@ -87,6 +95,7 @@ type job struct {
 	ctx  context.Context
 	run  func(context.Context) (any, error)
 	done chan jobResult
+	enq  time.Time // submit time; set only when metrics are on
 }
 
 type jobResult struct {
@@ -119,9 +128,18 @@ type Engine struct {
 	analyzers     sync.Map
 	analyzerCount int64 // memoized specs (atomic; sync.Map has no Len)
 
-	queued int64 // jobs submitted but not yet finished (atomic)
-	served [numJobKinds]uint64
-	failed uint64
+	queued    int64 // jobs submitted but not yet finished (atomic)
+	served    [numJobKinds]uint64
+	failed    uint64
+	abandoned uint64 // queued jobs skipped: submitter context expired
+
+	// Observability (nil without Config.Obs): the registry itself (for
+	// the session layer to attach to), the pre-resolved hot-path
+	// histograms, and the analysis-phase trace every pooled analyzer
+	// shares.
+	obsReg  *obs.Registry
+	metrics *engineMetrics
+	trace   *obs.Trace
 }
 
 // New starts an Engine with the given configuration.
@@ -138,6 +156,9 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.CacheEntries >= 0 {
 		e.memo = cache.New(cfg.CacheEntries)
+	}
+	if cfg.Obs != nil {
+		e.registerMetrics(cfg.Obs)
 	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -161,6 +182,12 @@ func (e *Engine) Close() {
 
 // Cache returns the engine's shared result cache (nil when disabled).
 func (e *Engine) Cache() *cache.Cache { return e.memo }
+
+// Obs returns the metrics registry the engine was configured with, or
+// nil. Subsystems built on the engine (the campaign handler, the
+// cluster shard worker) publish their series here, so one /metrics
+// scrape covers the whole process.
+func (e *Engine) Obs() *obs.Registry { return e.obsReg }
 
 // Workers returns the configured worker count — the natural bound for
 // callers fanning batches out over the pool.
@@ -206,15 +233,25 @@ func (e *Engine) Stats() Stats {
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
+	m := e.metrics
 	for j := range e.jobs {
 		if err := j.ctx.Err(); err != nil {
 			// Submitter abandoned the job while it was queued (request
 			// cancelled, server shutting down): don't compute.
+			atomic.AddUint64(&e.abandoned, 1)
 			atomic.AddInt64(&e.queued, -1)
 			j.done <- jobResult{err: err}
 			continue
 		}
+		var t0 time.Time
+		if m != nil {
+			m.queueWait.Since(j.enq)
+			t0 = time.Now()
+		}
 		val, err := j.run(j.ctx)
+		if m != nil {
+			m.jobDur[j.kind].Since(t0)
+		}
 		atomic.AddUint64(&e.served[j.kind], 1)
 		if err != nil {
 			atomic.AddUint64(&e.failed, 1)
@@ -230,6 +267,9 @@ func (e *Engine) worker() {
 // argument and aborts at the analysis layer's next cancellation check).
 func (e *Engine) submit(ctx context.Context, kind JobKind, fn func(context.Context) (any, error)) (any, error) {
 	j := &job{kind: kind, ctx: ctx, run: fn, done: make(chan jobResult, 1)}
+	if e.metrics != nil {
+		j.enq = time.Now()
+	}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
@@ -291,6 +331,7 @@ func (e *Engine) analyzer(spec AnalyzeSpec) (*core.Analyzer, error) {
 		Cores: spec.Cores, Method: spec.Method, Backend: spec.Backend,
 		FinalNPRRefinement: spec.FinalNPR,
 		Cache:              e.memo,
+		Trace:              e.trace,
 	})
 	if err != nil {
 		return nil, err

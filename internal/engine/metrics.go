@@ -1,0 +1,80 @@
+package engine
+
+// Metric registration for the engine pool, its cache, and the session
+// registry. Everything the engine already counts for Stats() is
+// re-exported through scrape-time CounterFunc/GaugeFunc readers — no
+// double bookkeeping, no new hot-path writes. The only new hot-path
+// instruments are the two latency histograms (queue wait, job duration
+// by kind), which the worker loop feeds behind a single nil check, and
+// the abandoned-jobs counter (jobs whose submitter gave up while they
+// were queued — the shed/drain signal Stats() never surfaced).
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// engineMetrics holds the pre-resolved hot-path series. nil when no
+// registry is configured, which the worker loop checks once per job.
+type engineMetrics struct {
+	queueWait *obs.Histogram
+	jobDur    [numJobKinds]*obs.Histogram
+}
+
+// registerMetrics wires the engine into r. Called once from New; r is
+// non-nil here.
+func (e *Engine) registerMetrics(r *obs.Registry) {
+	e.obsReg = r
+	e.trace = obs.NewTrace(r)
+
+	r.Gauge("lpdag_engine_workers",
+		"Configured worker goroutines of the engine pool.").Set(float64(e.cfg.Workers))
+	r.Gauge("lpdag_engine_queue_capacity",
+		"Capacity of the pending-job queue (admission-control bound).").Set(float64(e.cfg.QueueDepth))
+	r.GaugeFunc("lpdag_engine_queue_depth",
+		"Jobs submitted and not yet finished (running or queued).",
+		func() float64 { return float64(atomic.LoadInt64(&e.queued)) })
+
+	m := &engineMetrics{
+		queueWait: r.Histogram("lpdag_engine_queue_wait_seconds",
+			"Time a job spent queued before a worker picked it up.",
+			obs.LatencyBuckets),
+	}
+	for k := JobKind(0); k < numJobKinds; k++ {
+		k := k
+		r.CounterFunc("lpdag_engine_jobs_total",
+			"Completed jobs by kind.",
+			func() float64 { return float64(atomic.LoadUint64(&e.served[k])) },
+			"kind", k.String())
+		m.jobDur[k] = r.Histogram("lpdag_engine_job_duration_seconds",
+			"Job execution time by kind (excludes queue wait).",
+			obs.LatencyBuckets,
+			"kind", k.String())
+	}
+	r.CounterFunc("lpdag_engine_job_failures_total",
+		"Jobs that completed with an error.",
+		func() float64 { return float64(atomic.LoadUint64(&e.failed)) })
+	r.CounterFunc("lpdag_engine_jobs_abandoned_total",
+		"Queued jobs skipped because the submitter's context expired first.",
+		func() float64 { return float64(atomic.LoadUint64(&e.abandoned)) })
+	e.metrics = m
+
+	if c := e.memo; c != nil {
+		r.CounterFunc("lpdag_cache_hits_total",
+			"Analysis cache lookups served from the store.",
+			func() float64 { return float64(c.Stats().Hits) })
+		r.CounterFunc("lpdag_cache_misses_total",
+			"Analysis cache lookups that had to compute.",
+			func() float64 { return float64(c.Stats().Misses) })
+		r.CounterFunc("lpdag_cache_evictions_total",
+			"Analysis cache entries evicted by the LRU bound.",
+			func() float64 { return float64(c.Stats().Evictions) })
+		r.GaugeFunc("lpdag_cache_entries",
+			"Live analysis cache entries (including in-flight computes).",
+			func() float64 { return float64(c.Stats().Entries) })
+		r.GaugeFunc("lpdag_cache_hit_ratio",
+			"hits/(hits+misses) since process start; 0 before any lookup.",
+			func() float64 { return c.Stats().HitRate() })
+	}
+}

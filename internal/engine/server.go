@@ -19,12 +19,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // ServerConfig parameterises the HTTP handler.
@@ -45,6 +47,13 @@ type ServerConfig struct {
 	SessionTTL time.Duration
 	// SessionClock overrides the registry's time source (TTL tests).
 	SessionClock func() time.Time
+	// Obs, when non-nil, mounts GET /metrics (Prometheus text format,
+	// deliberately outside the MaxInFlight semaphore — a scrape must
+	// succeed while the server sheds) and registers the server-level
+	// series (in-flight requests, sheds, draining flag, shard load).
+	// Nil falls back to the engine's registry, so passing Config.Obs to
+	// New is enough to get the full serving surface.
+	Obs *obs.Registry
 }
 
 // Server limits. The per-job compute caps exist because the HTTP
@@ -80,6 +89,8 @@ type Server struct {
 	sessions *SessionRegistry
 	inFlight chan struct{}
 	requests uint64 // HTTP requests admitted (atomic)
+	shed     uint64 // requests refused by the in-flight semaphore (atomic)
+	start    time.Time
 
 	draining     atomic.Bool
 	activeShards atomic.Int64
@@ -98,7 +109,10 @@ func NewServer(e *Engine, cfg ServerConfig) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
-	s := &Server{eng: e, cfg: cfg, inFlight: make(chan struct{}, cfg.MaxInFlight)}
+	if cfg.Obs == nil {
+		cfg.Obs = e.obsReg
+	}
+	s := &Server{eng: e, cfg: cfg, inFlight: make(chan struct{}, cfg.MaxInFlight), start: time.Now()}
 	s.sessions = NewSessionRegistry(e, SessionRegistryConfig{
 		MaxSessions: cfg.MaxSessions, TTL: cfg.SessionTTL, Clock: cfg.SessionClock,
 	})
@@ -114,6 +128,32 @@ func NewServer(e *Engine, cfg ServerConfig) *Server {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.limited(s.handleSessionDelete))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	if reg := cfg.Obs; reg != nil {
+		// Unlimited like /healthz and /stats: observability endpoints
+		// must answer while the data plane sheds or drains.
+		mux.Handle("GET /metrics", reg.Handler())
+		reg.RegisterRuntime(s.start)
+		reg.GaugeFunc("lpdag_http_in_flight",
+			"Requests currently inside the admission semaphore.",
+			func() float64 { return float64(len(s.inFlight)) })
+		reg.CounterFunc("lpdag_http_requests_shed_total",
+			"Requests refused with 503 by the in-flight semaphore.",
+			func() float64 { return float64(atomic.LoadUint64(&s.shed)) })
+		reg.GaugeFunc("lpdag_server_draining",
+			"1 while SIGTERM drain is in progress, else 0.",
+			func() float64 {
+				if s.Draining() {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeFunc("lpdag_cluster_active_shards",
+			"Shard leases currently executing on this worker.",
+			func() float64 { return float64(s.activeShards.Load()) })
+		reg.CounterFunc("lpdag_cluster_shards_served_total",
+			"Shard leases this worker finished (completed or failed).",
+			func() float64 { return float64(s.shardsServed.Load()) })
+	}
 	s.mux = mux
 	return s
 }
@@ -153,6 +193,7 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 		case s.inFlight <- struct{}{}:
 			defer func() { <-s.inFlight }()
 		default:
+			atomic.AddUint64(&s.shed, 1)
 			writeError(w, http.StatusServiceUnavailable, "server at capacity, retry later")
 			return
 		}
@@ -512,15 +553,21 @@ type healthzResponse struct {
 	Workers      int    `json:"workers"`
 	QueueDepth   int    `json:"queue_depth"`
 	ActiveShards int64  `json:"active_shards"`
+	// Node-identity fields (additive, PR 6): dashboards and coordinators
+	// need to tell nodes and builds apart from the probe alone.
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
 	resp := healthzResponse{
-		Status:       "ok",
-		Workers:      st.Workers,
-		QueueDepth:   st.QueueDepth,
-		ActiveShards: s.activeShards.Load(),
+		Status:        "ok",
+		Workers:       st.Workers,
+		QueueDepth:    st.QueueDepth,
+		ActiveShards:  s.activeShards.Load(),
+		Version:       obs.Version(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
 	if s.Draining() {
 		resp.Status = "draining"
@@ -539,10 +586,19 @@ type statsResponse struct {
 	ShardsServed   uint64  `json:"shards_served"`
 	ActiveSessions int     `json:"active_sessions"`
 	Draining       bool    `json:"draining"`
+	// Node-identity and runtime fields (additive, PR 6; existing keys
+	// above keep their names and order, so pre-PR-6 consumers parse
+	// unchanged).
+	Version        string  `json:"version"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Goroutines     int     `json:"goroutines"`
+	HeapInuseBytes uint64  `json:"heap_inuse_bytes"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	writeJSON(w, http.StatusOK, statsResponse{
 		Stats:          st,
 		HTTPRequests:   atomic.LoadUint64(&s.requests),
@@ -551,6 +607,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		ShardsServed:   s.shardsServed.Load(),
 		ActiveSessions: s.sessions.Len(),
 		Draining:       s.Draining(),
+		Version:        obs.Version(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Goroutines:     runtime.NumGoroutine(),
+		HeapInuseBytes: ms.HeapInuse,
 	})
 }
 

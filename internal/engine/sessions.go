@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/session"
 )
 
@@ -54,6 +55,14 @@ type SessionRegistry struct {
 	eng *Engine
 	cfg SessionRegistryConfig
 
+	// Metrics, resolved from the engine's registry at construction (all
+	// nil when the engine has none). gateWait measures time spent in
+	// Do's per-session serialization gate — queueing invisible to the
+	// pool's own queue-wait histogram.
+	created  *obs.Counter
+	expired  *obs.Counter
+	gateWait *obs.Histogram
+
 	mu       sync.Mutex
 	sessions map[string]*sessionEntry
 }
@@ -83,11 +92,24 @@ func NewSessionRegistry(e *Engine, cfg SessionRegistryConfig) *SessionRegistry {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &SessionRegistry{
+	r := &SessionRegistry{
 		eng:      e,
 		cfg:      cfg,
 		sessions: make(map[string]*sessionEntry),
 	}
+	if reg := e.obsReg; reg != nil {
+		r.created = reg.Counter("lpdag_sessions_created_total",
+			"Analysis sessions created.")
+		r.expired = reg.Counter("lpdag_sessions_expired_total",
+			"Analysis sessions evicted by the TTL sweep.")
+		r.gateWait = reg.Histogram("lpdag_session_gate_wait_seconds",
+			"Time a session operation waited on its per-session serialization gate.",
+			obs.LatencyBuckets)
+		reg.GaugeFunc("lpdag_sessions_active",
+			"Live analysis sessions after sweeping expired ones.",
+			func() float64 { return float64(r.Len()) })
+	}
+	return r
 }
 
 // Len returns the live session count (after sweeping expired ones).
@@ -107,6 +129,7 @@ func (r *SessionRegistry) sweepLocked() {
 	for id, e := range r.sessions {
 		if e.lastUsed.Before(cutoff) {
 			delete(r.sessions, id)
+			r.expired.Inc()
 		}
 	}
 }
@@ -129,6 +152,7 @@ func (r *SessionRegistry) Create(opts core.Options, tasks ...*model.Task) (strin
 	r.sessions[id] = &sessionEntry{
 		sess: sess, lastUsed: r.cfg.Clock(), op: make(chan struct{}, 1),
 	}
+	r.created.Inc()
 	return id, sess, nil
 }
 
@@ -175,8 +199,13 @@ func (r *SessionRegistry) Do(ctx context.Context, id string, fn func(ctx context
 	if err != nil {
 		return nil, err
 	}
+	var t0 time.Time
+	if r.gateWait != nil {
+		t0 = time.Now()
+	}
 	select {
 	case e.op <- struct{}{}:
+		r.gateWait.Since(t0)
 		defer func() { <-e.op }()
 	case <-ctx.Done():
 		return nil, ctx.Err()

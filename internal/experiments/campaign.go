@@ -25,6 +25,7 @@ import (
 	"repro/internal/engine/cache"
 	"repro/internal/gen"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/ppp"
 )
 
@@ -304,6 +305,10 @@ type RunOptions struct {
 	CSV io.Writer
 	// OnProgress, when non-nil, is called after every completed point.
 	OnProgress func(Progress)
+	// Obs, when non-nil, publishes the same progress as the
+	// lpdag_campaign_* series (points planned/done, ETA, cumulative
+	// completed counter) so the run is watchable from /metrics.
+	Obs *obs.Registry
 	// Completed carries results of a previous (partial) run of the SAME
 	// campaign, e.g. re-read from its JSONL stream with
 	// ReadCampaignJSONL: points whose index appears here are emitted
@@ -430,6 +435,8 @@ func RunCampaign(cfg CampaignConfig, opts RunOptions) ([]PointResult, error) {
 	emitFrontier() // resumed prefix, if any
 	var firstErr error
 	doneBase := len(points) - len(remaining)
+	metrics := NewCampaignMetrics(opts.Obs)
+	metrics.Start(len(points), doneBase)
 	for completed := 0; completed < len(remaining); completed++ {
 		d := <-done
 		if d.err != nil {
@@ -441,13 +448,16 @@ func RunCampaign(cfg CampaignConfig, opts RunOptions) ([]PointResult, error) {
 		results[d.idx] = d.res
 		ready[d.idx] = true
 		emitFrontier()
-		if opts.OnProgress != nil {
+		if opts.OnProgress != nil || metrics != nil {
 			elapsed := time.Since(start)
 			p := Progress{Done: doneBase + completed + 1, Total: len(points), Elapsed: elapsed}
 			if rem := p.Total - p.Done; rem > 0 && completed+1 > 0 {
 				p.ETA = time.Duration(float64(elapsed) / float64(completed+1) * float64(rem))
 			}
-			opts.OnProgress(p)
+			metrics.Observe(p)
+			if opts.OnProgress != nil {
+				opts.OnProgress(p)
+			}
 		}
 	}
 	if firstErr == nil {
@@ -587,6 +597,8 @@ func RunCampaignSubset(cfg CampaignConfig, indices []int, opts RunOptions) ([]Po
 		firstErr error
 		emitter  = NewStreamEmitter(opts.JSONL, opts.CSV, methodNames(ncfg.Methods))
 	)
+	metrics := NewCampaignMetrics(opts.Obs)
+	metrics.Start(len(indices), 0)
 	for completed := 0; completed < len(indices); completed++ {
 		d := <-done
 		if d.err != nil {
@@ -601,13 +613,16 @@ func RunCampaignSubset(cfg CampaignConfig, indices []int, opts RunOptions) ([]Po
 			emitter.Emit(results[next])
 			next++
 		}
-		if opts.OnProgress != nil {
+		if opts.OnProgress != nil || metrics != nil {
 			elapsed := time.Since(start)
 			p := Progress{Done: completed + 1, Total: len(indices), Elapsed: elapsed}
 			if rem := p.Total - p.Done; rem > 0 {
 				p.ETA = time.Duration(float64(elapsed) / float64(completed+1) * float64(rem))
 			}
-			opts.OnProgress(p)
+			metrics.Observe(p)
+			if opts.OnProgress != nil {
+				opts.OnProgress(p)
+			}
 		}
 	}
 	if firstErr == nil {

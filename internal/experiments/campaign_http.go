@@ -89,6 +89,7 @@ func CampaignHandler(eng *engine.Engine) http.Handler {
 			Context: r.Context(),
 			Engine:  eng,
 			JSONL:   out,
+			Obs:     eng.Obs(),
 		}); err != nil {
 			// Too late for a status code; emit a terminal error line.
 			data, _ := json.Marshal(map[string]string{"error": err.Error()})

@@ -1,0 +1,62 @@
+package experiments
+
+// Campaign progress as metrics: the same Progress values RunOptions
+// already surfaces through OnProgress, re-published as lpdag_campaign_*
+// series so a long sweep is watchable from /metrics — locally, on a
+// cluster worker running a shard, or on the coordinator merging the
+// whole grid. Gauges (planned/done/eta) describe the CURRENT run on
+// this process; the completed counter is cumulative across runs, which
+// is what rate() wants.
+
+import "repro/internal/obs"
+
+// CampaignMetrics feeds the lpdag_campaign_* series. A nil
+// *CampaignMetrics (from a nil registry) is a valid no-op receiver, so
+// the run loops call it unconditionally.
+type CampaignMetrics struct {
+	planned   *obs.Gauge
+	done      *obs.Gauge
+	eta       *obs.Gauge
+	completed *obs.Counter
+}
+
+// NewCampaignMetrics resolves the campaign series in reg, or returns
+// nil (a no-op recorder) when reg is nil.
+func NewCampaignMetrics(reg *obs.Registry) *CampaignMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &CampaignMetrics{
+		planned: reg.Gauge("lpdag_campaign_points_planned",
+			"Grid points of the campaign (or shard) currently running."),
+		done: reg.Gauge("lpdag_campaign_points_done",
+			"Points of the current campaign finished so far, including any resumed prefix."),
+		eta: reg.Gauge("lpdag_campaign_eta_seconds",
+			"Linear-extrapolation ETA of the current campaign; 0 when done or unknown."),
+		completed: reg.Counter("lpdag_campaign_points_completed_total",
+			"Campaign points computed by this process, cumulative across runs."),
+	}
+}
+
+// Start records the campaign size and the resumed prefix before any
+// point completes, so a scrape during a stalled run still sees the
+// plan.
+func (m *CampaignMetrics) Start(total, carried int) {
+	if m == nil {
+		return
+	}
+	m.planned.Set(float64(total))
+	m.done.Set(float64(carried))
+	m.eta.Set(0)
+}
+
+// Observe records one completed point's Progress.
+func (m *CampaignMetrics) Observe(p Progress) {
+	if m == nil {
+		return
+	}
+	m.planned.Set(float64(p.Total))
+	m.done.Set(float64(p.Done))
+	m.eta.Set(p.ETA.Seconds())
+	m.completed.Inc()
+}

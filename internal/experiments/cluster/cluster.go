@@ -150,6 +150,7 @@ func Run(cfg Config, opts experiments.RunOptions) ([]experiments.PointResult, er
 		shards = append(shards, pts)
 	}
 	tracker := NewTracker(shards, cfg.MaxShardRetries)
+	tracker.Instrument(opts.Obs)
 
 	// A context watcher aborts the tracker so worker loops blocked in
 	// Next wake up when the caller cancels.
@@ -197,6 +198,8 @@ func Run(cfg Config, opts experiments.RunOptions) ([]experiments.PointResult, er
 		}
 	}
 	emitFrontier() // resumed prefix, if any
+	metrics := experiments.NewCampaignMetrics(opts.Obs)
+	metrics.Start(len(points), carried)
 	for pr := range c.resultc {
 		if ready[pr.Index] {
 			continue // duplicate from a retried shard; deterministic, identical
@@ -205,13 +208,16 @@ func Run(cfg Config, opts experiments.RunOptions) ([]experiments.PointResult, er
 		ready[pr.Index] = true
 		got++
 		emitFrontier()
-		if opts.OnProgress != nil {
+		if opts.OnProgress != nil || metrics != nil {
 			elapsed := time.Since(start)
 			p := experiments.Progress{Done: carried + got, Total: len(points), Elapsed: elapsed}
 			if rem := p.Total - p.Done; rem > 0 {
 				p.ETA = time.Duration(float64(elapsed) / float64(got) * float64(rem))
 			}
-			opts.OnProgress(p)
+			metrics.Observe(p)
+			if opts.OnProgress != nil {
+				opts.OnProgress(p)
+			}
 		}
 	}
 

@@ -15,6 +15,8 @@ package cluster
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Lease is one granted unit of work: the remaining point indices of a
@@ -46,6 +48,14 @@ type Tracker struct {
 	pending    []int // FIFO of grantable shard ids
 	open       int   // shards not yet done
 	err        error // terminal failure; set at most once
+
+	// Lease-flow counters (nil without Instrument; obs counters are
+	// nil-safe, so the transition sites increment unconditionally).
+	grants      *obs.Counter
+	completions *obs.Counter
+	failures    *obs.Counter
+	handbacks   *obs.Counter
+	requeues    *obs.Counter
 }
 
 // NewTracker builds the state machine over the given shard point lists.
@@ -66,6 +76,32 @@ func NewTracker(shards [][]int, maxRetries int) *Tracker {
 		t.pending = append(t.pending, i)
 	}
 	return t
+}
+
+// Instrument publishes the tracker's lease flow in reg (nil = no-op):
+// grants, completions, genuine failures, draining handbacks, and
+// requeues as lpdag_cluster_lease_* counters, plus the outstanding
+// point count as a gauge. Call it before handing the tracker to worker
+// loops; calling it again (a later campaign on the same registry)
+// re-resolves the same series, so the counters stay cumulative across
+// runs while the gauge follows the newest tracker.
+func (t *Tracker) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	t.grants = reg.Counter("lpdag_cluster_lease_grants_total",
+		"Shard leases granted to workers.")
+	t.completions = reg.Counter("lpdag_cluster_lease_completions_total",
+		"Shard leases fully streamed back and retired.")
+	t.failures = reg.Counter("lpdag_cluster_lease_failures_total",
+		"Shard leases that died (worker failure, stall, protocol error).")
+	t.handbacks = reg.Counter("lpdag_cluster_lease_handbacks_total",
+		"Shard leases returned by draining workers (no retry consumed).")
+	t.requeues = reg.Counter("lpdag_cluster_lease_requeues_total",
+		"Shard leases put back on the pending queue for another worker.")
+	reg.GaugeFunc("lpdag_cluster_points_outstanding",
+		"Points of the current cluster campaign not yet streamed back.",
+		func() float64 { return float64(t.Outstanding()) })
 }
 
 // Next blocks until a shard is grantable, then leases it to worker. It
@@ -101,6 +137,7 @@ func (t *Tracker) grantLocked(worker string) Lease {
 	t.pending = t.pending[1:]
 	t.state[id] = shardLeased
 	t.holder[id] = worker
+	t.grants.Inc()
 	return Lease{Shard: id, Points: append([]int(nil), t.remaining[id]...)}
 }
 
@@ -159,6 +196,7 @@ func (t *Tracker) Complete(shard int, worker string) error {
 func (t *Tracker) retireLocked(shard int) {
 	t.state[shard] = shardDone
 	t.holder[shard] = ""
+	t.completions.Inc()
 	t.open--
 	if t.open == 0 {
 		t.cond.Broadcast()
@@ -171,6 +209,7 @@ func (t *Tracker) requeueLocked(shard int) {
 	t.state[shard] = shardPending
 	t.holder[shard] = ""
 	t.pending = append(t.pending, shard)
+	t.requeues.Inc()
 	t.cond.Broadcast()
 }
 
@@ -185,6 +224,7 @@ func (t *Tracker) Fail(shard int, worker string, cause error) error {
 	if err := t.checkHeld(shard, worker); err != nil {
 		return err
 	}
+	t.failures.Inc()
 	if len(t.remaining[shard]) == 0 {
 		t.retireLocked(shard)
 		return nil
@@ -208,6 +248,7 @@ func (t *Tracker) Handback(shard int, worker string) error {
 	if err := t.checkHeld(shard, worker); err != nil {
 		return err
 	}
+	t.handbacks.Inc()
 	if len(t.remaining[shard]) == 0 {
 		t.retireLocked(shard)
 		return nil

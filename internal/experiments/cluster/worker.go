@@ -117,6 +117,7 @@ func NewWorkerHandler(eng *engine.Engine, cfg WorkerConfig) http.Handler {
 			Context: r.Context(),
 			Engine:  eng,
 			JSONL:   out,
+			Obs:     eng.Obs(),
 		}); err != nil {
 			// Too late for a status code; emit a terminal error line the
 			// coordinator treats as a shard failure.

@@ -1,0 +1,194 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4). Output is fully
+// deterministic for a fixed set of families and series: families sort
+// by name, series by label values, and histogram buckets are emitted in
+// bound order with cumulative counts. The golden catalog test in
+// internal/engine pins this ordering.
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteText renders every registered series in the Prometheus text
+// format. A nil registry writes nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ.String())
+		bw.WriteByte('\n')
+		for _, s := range f.sortedSeries() {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, f *family, s *series) {
+	switch {
+	case s.h != nil:
+		cum := uint64(0)
+		for i, ub := range s.h.upper {
+			cum += s.h.counts[i].Load()
+			writeSample(bw, f.name+"_bucket", f.labelKeys, s.labelVals, "le", formatFloat(ub), formatUint(cum))
+		}
+		cum += s.h.counts[len(s.h.upper)].Load()
+		writeSample(bw, f.name+"_bucket", f.labelKeys, s.labelVals, "le", "+Inf", formatUint(cum))
+		writeSample(bw, f.name+"_sum", f.labelKeys, s.labelVals, "", "", formatFloat(s.h.Sum()))
+		writeSample(bw, f.name+"_count", f.labelKeys, s.labelVals, "", "", formatUint(cum))
+	case s.fn != nil:
+		writeSample(bw, f.name, f.labelKeys, s.labelVals, "", "", formatFloat(s.fn()))
+	case s.c != nil:
+		writeSample(bw, f.name, f.labelKeys, s.labelVals, "", "", formatUint(s.c.Value()))
+	case s.g != nil:
+		writeSample(bw, f.name, f.labelKeys, s.labelVals, "", "", formatFloat(s.g.Value()))
+	}
+}
+
+// writeSample emits one sample line, appending the optional extra
+// label (histogram "le") after the series labels.
+func writeSample(bw *bufio.Writer, name string, keys, vals []string, extraKey, extraVal, value string) {
+	bw.WriteString(name)
+	if len(keys) > 0 || extraKey != "" {
+		bw.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(k)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(vals[i]))
+			bw.WriteByte('"')
+		}
+		if extraKey != "" {
+			if len(keys) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraKey)
+			bw.WriteString(`="`)
+			bw.WriteString(extraVal)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatUint(v uint64) string {
+	return strconv.FormatUint(v, 10)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// Handler serves GET /metrics. It bypasses any request admission
+// control by design: a scrape must succeed while the serving plane is
+// shedding, or the shed is invisible.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		r.WriteText(w)
+	})
+}
+
+// Version returns the module's version from the build info, or
+// "(devel)" when none is stamped.
+func Version() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "(devel)"
+}
+
+// RegisterRuntime registers process-level series: build info, uptime
+// since start, goroutine count, and heap-in-use bytes. Values are
+// sampled at scrape time (ReadMemStats is a brief stop-the-world; at
+// scrape cadence that is noise).
+func (r *Registry) RegisterRuntime(start time.Time) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("lpdag_build_info",
+		"Build metadata; the value is always 1.",
+		func() float64 { return 1 },
+		"version", Version(), "go", runtime.Version())
+	r.GaugeFunc("lpdag_uptime_seconds",
+		"Seconds since the process registered its metrics.",
+		func() float64 { return time.Since(start).Seconds() })
+	r.GaugeFunc("go_goroutines",
+		"Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_inuse_bytes",
+		"Bytes in in-use heap spans.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapInuse)
+		})
+}

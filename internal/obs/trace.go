@@ -1,0 +1,76 @@
+package obs
+
+// Trace is the analysis pipeline's phase-timing surface: one histogram
+// per phase of interest, resolved once and threaded down to
+// internal/rta through core.Options. The analyzer guards every
+// time.Now() pair behind a nil check, so an un-traced analyzer (the
+// default, and every benchmark baseline) pays a single predictable
+// branch per phase.
+//
+// Phases:
+//
+//   - SuffixRestore: AnalyzeIncremental's checkpoint restore + replay
+//     of the blocking aggregator — the time saved vs a full push scan
+//     is the whole point of the suffix-incremental design, so both
+//     sides are measured.
+//   - SuffixPush: a full bottom-up blocking push pass (AnalyzeInPlace's
+//     lazy scan, amortized over the tasks it served).
+//   - CacheLookup: one suffix-interference digest-chain lookup in the
+//     shared cache.
+//   - FixedPoint: one per-task response-time fixed point (solveTask).
+//   - FixedPointIters: iterations that fixed point took to converge.
+//
+// FullRuns/IncRuns count from-scratch vs incremental analyses, giving
+// the denominator for the span histograms.
+type Trace struct {
+	SuffixRestore   *Histogram
+	SuffixPush      *Histogram
+	CacheLookup     *Histogram
+	FixedPoint      *Histogram
+	FixedPointIters *Histogram
+	FullRuns        *Counter
+	IncRuns         *Counter
+}
+
+// RecordFull counts one from-scratch analysis pass. Nil-safe.
+func (t *Trace) RecordFull() {
+	if t != nil {
+		t.FullRuns.Inc()
+	}
+}
+
+// RecordIncremental counts one incremental analysis pass. Nil-safe.
+func (t *Trace) RecordIncremental() {
+	if t != nil {
+		t.IncRuns.Inc()
+	}
+}
+
+// NewTrace resolves the analysis-phase series in r. A nil registry
+// yields a nil trace, which every consumer treats as "tracing off".
+func NewTrace(r *Registry) *Trace {
+	if r == nil {
+		return nil
+	}
+	return &Trace{
+		SuffixRestore: r.Histogram("lpdag_analysis_suffix_restore_seconds",
+			"Time restoring and replaying suffix blocking checkpoints in incremental re-analysis.",
+			SpanBuckets),
+		SuffixPush: r.Histogram("lpdag_analysis_suffix_push_seconds",
+			"Time in full bottom-up blocking aggregator pushes.",
+			SpanBuckets),
+		CacheLookup: r.Histogram("lpdag_analysis_cache_lookup_seconds",
+			"Time per suffix-interference cache lookup.",
+			SpanBuckets),
+		FixedPoint: r.Histogram("lpdag_analysis_fixed_point_seconds",
+			"Time per per-task response-time fixed point.",
+			SpanBuckets),
+		FixedPointIters: r.Histogram("lpdag_analysis_fixed_point_iterations",
+			"Iterations per response-time fixed point.",
+			IterationBuckets),
+		FullRuns: r.Counter("lpdag_analysis_full_runs_total",
+			"From-scratch analysis passes."),
+		IncRuns: r.Counter("lpdag_analysis_incremental_runs_total",
+			"Incremental (suffix-reusing) analysis passes."),
+	}
+}

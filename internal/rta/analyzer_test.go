@@ -1,14 +1,17 @@
 package rta
 
 import (
+	"bytes"
 	"context"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/engine/cache"
 	"repro/internal/fixture"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // TestAnalyzerSteadyStateZeroAlloc pins the perf contract of the
@@ -39,6 +42,50 @@ func TestAnalyzerSteadyStateZeroAlloc(t *testing.T) {
 		}
 		if sink == nil || len(sink.Tasks) != ts.N() {
 			t.Fatalf("%v: bad result", method)
+		}
+	}
+}
+
+// TestAnalyzerZeroAllocWithTrace pins that attaching a live metrics
+// registry (Config.Trace, the analysis-phase tracing behind /metrics)
+// keeps the steady-state analysis allocation-free: every span and
+// counter the hot path records is an atomic write into pre-resolved
+// series. This is the instrumented twin of
+// TestAnalyzerSteadyStateZeroAlloc and the test-level guarantee behind
+// BenchmarkAnalyzePoint's 0 allocs/op.
+func TestAnalyzerZeroAllocWithTrace(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace(reg)
+	ts := fixture.TaskSet()
+	for _, method := range []Method{FPIdeal, LPMax, LPILP} {
+		a, err := NewAnalyzer(Config{M: fixture.M, Method: method, Trace: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.AnalyzeInPlace(context.Background(), ts); err != nil { // warm the memos
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := a.AnalyzeInPlace(context.Background(), ts); err != nil {
+				panic(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v: traced steady-state AnalyzeInPlace allocates %.1f objects/op, want 0", method, allocs)
+		}
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"lpdag_analysis_full_runs_total",
+		"lpdag_analysis_suffix_push_seconds",
+		"lpdag_analysis_fixed_point_seconds",
+		"lpdag_analysis_fixed_point_iterations",
+	} {
+		if !strings.Contains(buf.String(), series) {
+			t.Errorf("scrape is missing %s after traced runs", series)
 		}
 	}
 }

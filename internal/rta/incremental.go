@@ -41,6 +41,7 @@ package rta
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/blocking"
 	"repro/internal/model"
@@ -83,6 +84,7 @@ func (a *Analyzer) AnalyzeIncremental(ctx context.Context, ts *model.TaskSet) (*
 	}
 	cfg := a.cfg
 	n := ts.N()
+	cfg.Trace.RecordIncremental()
 	a.prologue()
 	a.ensure(n)
 	res := &a.res
@@ -125,6 +127,10 @@ func (a *Analyzer) AnalyzeIncremental(ctx context.Context, ts *model.TaskSet) (*
 	// only graphs, so renaming a task or swapping two instances of the
 	// same program invalidates nothing here.
 	if cfg.Method != FPIdeal {
+		var t0 time.Time
+		if cfg.Trace != nil {
+			t0 = time.Now()
+		}
 		c0 := 0
 		if inc.valid && len(inc.checks) > 0 {
 			tailG := 0
@@ -158,6 +164,9 @@ func (a *Analyzer) AnalyzeIncremental(ctx context.Context, ts *model.TaskSet) (*
 			a.suffix[n-c-1] = a.agg.Interference()
 		}
 		a.scanPos = 1 // a.suffix is fully materialized
+		if cfg.Trace != nil {
+			cfg.Trace.SuffixRestore.Since(t0)
+		}
 	} else {
 		clear(a.suffix[:n]) // FP-ideal: no blocking; keep Δ comparisons exact
 	}

@@ -30,11 +30,13 @@ package rta
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/blocking"
 	"repro/internal/dag"
 	"repro/internal/engine/cache"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Method selects the analysis variant.
@@ -104,6 +106,13 @@ type Config struct {
 	// that quantify how much of the LP pessimism the repeated-blocking
 	// term contributes. Ignored for FPIdeal.
 	AblateRepeatedBlocking bool
+
+	// Trace, when non-nil, records analysis-phase span timings (blocking
+	// pushes, cache lookups, per-task fixed points, incremental suffix
+	// restores) into the given histograms. Nil — the default — keeps the
+	// hot path at one predictable branch per phase and zero extra
+	// allocation; verdicts and results are identical either way.
+	Trace *obs.Trace
 
 	// DonationSafeBlocking counts every preemption point as a potential
 	// blocking episode: p_k = q_k instead of the paper's
@@ -388,6 +397,18 @@ func (a *Analyzer) muTable(g *dag.Graph) []int64 {
 // push feeds one graph into the suffix aggregator, fetching its µ table
 // or top-NPR list through the configured cache when one is present.
 func (a *Analyzer) push(g *dag.Graph) {
+	trace := a.cfg.Trace
+	var t0 time.Time
+	if trace != nil {
+		t0 = time.Now()
+	}
+	a.pushInner(g)
+	if trace != nil {
+		trace.SuffixPush.Since(t0)
+	}
+}
+
+func (a *Analyzer) pushInner(g *dag.Graph) {
 	switch {
 	case a.cfg.Cache == nil && a.cfg.Method == LPILP:
 		a.agg.PushMu(a.muTable(g))
@@ -456,6 +477,7 @@ func (a *Analyzer) AnalyzeInPlace(ctx context.Context, ts *model.TaskSet) (*Resu
 	}
 	cfg := a.cfg
 	n := ts.N()
+	cfg.Trace.RecordFull()
 	a.prologue()
 	a.ensure(n)
 	res := &a.res
@@ -503,8 +525,15 @@ func (a *Analyzer) AnalyzeInPlace(ctx context.Context, ts *model.TaskSet) (*Resu
 		if cfg.Method != FPIdeal {
 			var in blocking.Interference
 			if useCache {
+				var t0 time.Time
+				if cfg.Trace != nil {
+					t0 = time.Now()
+				}
 				in = cfg.Cache.SuffixInterference(blockingMethod(cfg.Method), cfg.M, cfg.Backend,
 					a.digests[k+1], func() blocking.Interference { return a.demandSuffix(k) })
+				if cfg.Trace != nil {
+					cfg.Trace.CacheLookup.Since(t0)
+				}
 			} else {
 				in = a.demandSuffix(k)
 			}
@@ -530,6 +559,10 @@ func (a *Analyzer) AnalyzeInPlace(ctx context.Context, ts *model.TaskSet) (*Resu
 // by construction.
 func (a *Analyzer) solveTask(ctx context.Context, ts *model.TaskSet, k int, tr *TaskResult) error {
 	cfg := a.cfg
+	var t0 time.Time
+	if cfg.Trace != nil {
+		t0 = time.Now()
+	}
 	task := ts.Tasks[k]
 	m64 := int64(cfg.M)
 	l := a.longs[k]
@@ -596,6 +629,10 @@ func (a *Analyzer) solveTask(ctx context.Context, ts *model.TaskSet, k int, tr *
 	tr.ResponseTimeM = cur + sinkCm
 	tr.Schedulable = converged && tr.ResponseTimeM <= dm
 	a.rm[k] = tr.ResponseTimeM
+	if cfg.Trace != nil {
+		cfg.Trace.FixedPoint.Since(t0)
+		cfg.Trace.FixedPointIters.Observe(float64(tr.Iterations))
+	}
 	return nil
 }
 

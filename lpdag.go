@@ -62,6 +62,7 @@ import (
 	"repro/internal/fixture"
 	"repro/internal/gen"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/ppp"
 	"repro/internal/seqlp"
 	"repro/internal/session"
@@ -332,6 +333,12 @@ type (
 	Cache = cache.Cache
 	// CacheStats snapshots a Cache's hit/miss/eviction counters.
 	CacheStats = cache.Stats
+	// MetricsRegistry collects the process's metric series and writes
+	// Prometheus text exposition. Pass one via EngineConfig.Obs to
+	// instrument an engine (pool, cache, sessions, analysis traces);
+	// its Handler serves GET /metrics. A nil registry disables all
+	// instrumentation at zero cost.
+	MetricsRegistry = obs.Registry
 )
 
 // NewEngine starts a concurrent analysis engine; Close it when done.
@@ -346,6 +353,9 @@ func NewEngineServer(e *Engine, cfg ServerConfig) *EngineServer { return engine.
 // NewCache returns a bounded content-addressed result cache
 // (maxEntries ≤ 0 selects the default bound).
 func NewCache(maxEntries int) *Cache { return cache.New(maxEntries) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Experiment-orchestration types (see internal/experiments): the
 // parallel sharded campaign sweeps and the differential soundness
