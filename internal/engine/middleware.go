@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -35,6 +36,13 @@ func LogRequests(h http.Handler, logger *slog.Logger, reg *obs.Registry, slow ti
 		slow = DefaultSlowRequest
 	}
 	var slowTotal *obs.Counter
+	// Registry lookups take the registry mutex and allocate, so the hot
+	// path resolves each (route, code) counter and per-route histogram
+	// once and serves every later request from these maps — keeping the
+	// package's resolve-once contract and staying off the scrape lock.
+	// Keys come from the route table plus the handlers' status codes, so
+	// cardinality is bounded.
+	var reqTotals, durations sync.Map // "route\x00code" -> *obs.Counter; route -> *obs.Histogram
 	if reg != nil {
 		slowTotal = reg.Counter("lpdag_http_slow_requests_total",
 			"Requests slower than the configured slow-request threshold.")
@@ -50,13 +58,22 @@ func LogRequests(h http.Handler, logger *slog.Logger, reg *obs.Registry, slow ti
 			route = "unmatched"
 		}
 		if reg != nil {
-			reg.Counter("lpdag_http_requests_total",
-				"HTTP requests served, by route pattern and status code.",
-				"route", route, "code", strconv.Itoa(rec.status)).Inc()
-			reg.Histogram("lpdag_http_request_duration_seconds",
-				"HTTP request latency by route pattern.",
-				obs.LatencyBuckets,
-				"route", route).Observe(elapsed.Seconds())
+			key := route + "\x00" + strconv.Itoa(rec.status)
+			ctr, ok := reqTotals.Load(key)
+			if !ok {
+				ctr, _ = reqTotals.LoadOrStore(key, reg.Counter("lpdag_http_requests_total",
+					"HTTP requests served, by route pattern and status code.",
+					"route", route, "code", strconv.Itoa(rec.status)))
+			}
+			ctr.(*obs.Counter).Inc()
+			hist, ok := durations.Load(route)
+			if !ok {
+				hist, _ = durations.LoadOrStore(route, reg.Histogram("lpdag_http_request_duration_seconds",
+					"HTTP request latency by route pattern.",
+					obs.LatencyBuckets,
+					"route", route))
+			}
+			hist.(*obs.Histogram).Observe(elapsed.Seconds())
 			if elapsed >= slow {
 				slowTotal.Inc()
 			}

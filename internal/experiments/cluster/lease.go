@@ -49,8 +49,9 @@ type Tracker struct {
 	open       int   // shards not yet done
 	err        error // terminal failure; set at most once
 
-	// Lease-flow counters (nil without Instrument; obs counters are
-	// nil-safe, so the transition sites increment unconditionally).
+	// Lease-flow counters, guarded by mu like the rest of the state
+	// (nil without Instrument; obs counters are nil-safe, so the
+	// transition sites increment unconditionally).
 	grants      *obs.Counter
 	completions *obs.Counter
 	failures    *obs.Counter
@@ -81,27 +82,33 @@ func NewTracker(shards [][]int, maxRetries int) *Tracker {
 // Instrument publishes the tracker's lease flow in reg (nil = no-op):
 // grants, completions, genuine failures, draining handbacks, and
 // requeues as lpdag_cluster_lease_* counters, plus the outstanding
-// point count as a gauge. Call it before handing the tracker to worker
-// loops; calling it again (a later campaign on the same registry)
-// re-resolves the same series, so the counters stay cumulative across
-// runs while the gauge follows the newest tracker.
+// point count as a gauge. Calling it again (a later campaign on the
+// same registry) re-resolves the same series, so the counters stay
+// cumulative across runs while the gauge follows the newest tracker.
+// The counter fields are assigned under t.mu, so instrumenting a
+// tracker whose worker loops are already running is safe (though the
+// events before the call go uncounted).
 func (t *Tracker) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	t.grants = reg.Counter("lpdag_cluster_lease_grants_total",
+	grants := reg.Counter("lpdag_cluster_lease_grants_total",
 		"Shard leases granted to workers.")
-	t.completions = reg.Counter("lpdag_cluster_lease_completions_total",
+	completions := reg.Counter("lpdag_cluster_lease_completions_total",
 		"Shard leases fully streamed back and retired.")
-	t.failures = reg.Counter("lpdag_cluster_lease_failures_total",
+	failures := reg.Counter("lpdag_cluster_lease_failures_total",
 		"Shard leases that died (worker failure, stall, protocol error).")
-	t.handbacks = reg.Counter("lpdag_cluster_lease_handbacks_total",
+	handbacks := reg.Counter("lpdag_cluster_lease_handbacks_total",
 		"Shard leases returned by draining workers (no retry consumed).")
-	t.requeues = reg.Counter("lpdag_cluster_lease_requeues_total",
+	requeues := reg.Counter("lpdag_cluster_lease_requeues_total",
 		"Shard leases put back on the pending queue for another worker.")
 	reg.GaugeFunc("lpdag_cluster_points_outstanding",
 		"Points of the current cluster campaign not yet streamed back.",
 		func() float64 { return float64(t.Outstanding()) })
+	t.mu.Lock()
+	t.grants, t.completions, t.failures, t.handbacks, t.requeues =
+		grants, completions, failures, handbacks, requeues
+	t.mu.Unlock()
 }
 
 // Next blocks until a shard is grantable, then leases it to worker. It

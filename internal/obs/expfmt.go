@@ -24,7 +24,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 		return nil
 	}
 	bw := bufio.NewWriter(w)
-	for _, f := range r.snapshot() {
+	for _, v := range r.snapshot() {
+		f := v.f
 		bw.WriteString("# HELP ")
 		bw.WriteString(f.name)
 		bw.WriteByte(' ')
@@ -34,7 +35,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 		bw.WriteByte(' ')
 		bw.WriteString(f.typ.String())
 		bw.WriteByte('\n')
-		for _, s := range f.sortedSeries() {
+		for _, s := range v.series {
 			writeSeries(bw, f, s)
 		}
 	}
@@ -42,6 +43,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 }
 
 func writeSeries(bw *bufio.Writer, f *family, s *series) {
+	fn := s.fn.Load()
 	switch {
 	case s.h != nil:
 		cum := uint64(0)
@@ -53,8 +55,8 @@ func writeSeries(bw *bufio.Writer, f *family, s *series) {
 		writeSample(bw, f.name+"_bucket", f.labelKeys, s.labelVals, "le", "+Inf", formatUint(cum))
 		writeSample(bw, f.name+"_sum", f.labelKeys, s.labelVals, "", "", formatFloat(s.h.Sum()))
 		writeSample(bw, f.name+"_count", f.labelKeys, s.labelVals, "", "", formatUint(cum))
-	case s.fn != nil:
-		writeSample(bw, f.name, f.labelKeys, s.labelVals, "", "", formatFloat(s.fn()))
+	case fn != nil:
+		writeSample(bw, f.name, f.labelKeys, s.labelVals, "", "", formatFloat((*fn)()))
 	case s.c != nil:
 		writeSample(bw, f.name, f.labelKeys, s.labelVals, "", "", formatUint(s.c.Value()))
 	case s.g != nil:

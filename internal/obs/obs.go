@@ -97,14 +97,16 @@ type family struct {
 	order     []string // insertion-independent: sorted at scrape
 }
 
-// series is one (name, label values) time series. Exactly one of the
-// payload fields is set.
+// series is one (name, label values) time series. The payload pointer
+// matching the family type (c/g/h) is set at creation and immutable;
+// fn is atomic because func-backed series may be re-registered (a new
+// campaign re-pointing a gauge) while a scrape reads them.
 type series struct {
 	labelVals []string
 	c         *Counter
 	g         *Gauge
 	h         *Histogram
-	fn        func() float64 // func-backed counter or gauge
+	fn        atomic.Pointer[func() float64] // func-backed counter or gauge
 }
 
 // NewRegistry returns an empty registry.
@@ -118,11 +120,7 @@ func (r *Registry) Counter(name, help string, labelPairs ...string) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, help, typeCounter, nil, labelPairs)
-	if s.c == nil {
-		s.c = &Counter{}
-	}
-	return s.c
+	return r.lookup(name, help, typeCounter, nil, labelPairs, nil).c
 }
 
 // Gauge returns the gauge for name and the given label pairs.
@@ -130,11 +128,7 @@ func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, help, typeGauge, nil, labelPairs)
-	if s.g == nil {
-		s.g = &Gauge{}
-	}
-	return s.g
+	return r.lookup(name, help, typeGauge, nil, labelPairs, nil).g
 }
 
 // Histogram returns the histogram for name with the given upper bucket
@@ -149,11 +143,7 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labelPairs ..
 			panic(fmt.Sprintf("obs: histogram %s buckets not strictly increasing", name))
 		}
 	}
-	s := r.lookup(name, help, typeHistogram, buckets, labelPairs)
-	if s.h == nil {
-		s.h = newHistogram(buckets)
-	}
-	return s.h
+	return r.lookup(name, help, typeHistogram, buckets, labelPairs, nil).h
 }
 
 // CounterFunc registers a counter whose value is read from fn at scrape
@@ -163,8 +153,7 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64, labelPairs 
 	if r == nil {
 		return
 	}
-	s := r.lookup(name, help, typeCounter, nil, labelPairs)
-	s.fn = fn
+	r.lookup(name, help, typeCounter, nil, labelPairs, fn)
 }
 
 // GaugeFunc registers a gauge read from fn at scrape time (queue
@@ -173,14 +162,15 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelPairs ..
 	if r == nil {
 		return
 	}
-	s := r.lookup(name, help, typeGauge, nil, labelPairs)
-	s.fn = fn
+	r.lookup(name, help, typeGauge, nil, labelPairs, fn)
 }
 
 // lookup is the shared get-or-create: it validates names, enforces
 // family metadata consistency, and returns the series for the label
-// values (creating an empty one the caller fills in).
-func (r *Registry) lookup(name, help string, typ metricType, buckets []float64, labelPairs []string) *series {
+// values. The series payload (counter/gauge/histogram, or fn for
+// func-backed series) is created or updated under r.mu so a concurrent
+// scrape never sees a half-initialised series.
+func (r *Registry) lookup(name, help string, typ metricType, buckets []float64, labelPairs []string, fn func() float64) *series {
 	if !validName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
@@ -231,44 +221,59 @@ func (r *Registry) lookup(name, help string, typ metricType, buckets []float64, 
 	s, ok := f.series[key]
 	if !ok {
 		s = &series{labelVals: vals}
+		switch typ {
+		case typeCounter:
+			s.c = &Counter{}
+		case typeGauge:
+			s.g = &Gauge{}
+		case typeHistogram:
+			s.h = newHistogram(buckets)
+		}
 		f.series[key] = s
 		f.order = append(f.order, key)
+	}
+	if fn != nil {
+		s.fn.Store(&fn)
 	}
 	return s
 }
 
-// snapshot returns the families sorted by name, each with its series
-// sorted by label values — the stable scrape order.
-func (r *Registry) snapshot() []*family {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	fams := make([]*family, 0, len(r.families))
-	for _, f := range r.families {
-		fams = append(fams, f)
-	}
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
-	return fams
+// famView is a scrape-time copy of one family: its metadata plus the
+// series list frozen and sorted under the registry lock. Everything a
+// series points to (label slices, payload pointers) is immutable after
+// the creating lookup releases r.mu, so reading the view lock-free is
+// safe even while new series are being registered.
+type famView struct {
+	f      *family
+	series []*series
 }
 
-// sortedSeries returns the family's series ordered by label values.
-// Families are append-only, so reading order under the registry lock
-// via snapshot then sorting here without f-level locking is safe: the
-// slices a series points to are immutable after creation.
-func (f *family) sortedSeries() []*series {
-	out := make([]*series, 0, len(f.order))
-	for _, k := range f.order {
-		out = append(out, f.series[k])
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].labelVals, out[j].labelVals
-		for x := range a {
-			if a[x] != b[x] {
-				return a[x] < b[x]
-			}
+// snapshot returns the families sorted by name, each with its series
+// copied out and sorted by label values — the stable scrape order.
+// The per-family series map and order slice are only touched here and
+// in lookup, both under r.mu.
+func (r *Registry) snapshot() []famView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	views := make([]famView, 0, len(r.families))
+	for _, f := range r.families {
+		ss := make([]*series, 0, len(f.order))
+		for _, k := range f.order {
+			ss = append(ss, f.series[k])
 		}
-		return false
-	})
-	return out
+		sort.Slice(ss, func(i, j int) bool {
+			a, b := ss[i].labelVals, ss[j].labelVals
+			for x := range a {
+				if a[x] != b[x] {
+					return a[x] < b[x]
+				}
+			}
+			return false
+		})
+		views = append(views, famView{f: f, series: ss})
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].f.name < views[j].f.name })
+	return views
 }
 
 // Counter is a monotonically increasing counter. The zero value is

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -236,6 +237,61 @@ func TestConcurrentObserveAndScrape(t *testing.T) {
 	wg.Wait()
 	if got := h.Count(); got != workers*perWorker {
 		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestConcurrentRegisterAndScrape is the case the middleware exercises
+// in production: new (route, status) series materialise while /metrics
+// is being scraped. Under -race this pins that WriteText never reads a
+// family's series map or order slice outside the registry lock, and
+// that re-registering a func-backed series mid-scrape is safe.
+func TestConcurrentRegisterAndScrape(t *testing.T) {
+	r := NewRegistry()
+	var writers, scrapers sync.WaitGroup
+	stop := make(chan struct{})
+	for s := 0; s < 2; s++ {
+		scrapers.Add(1)
+		go func() { // concurrent scrapers
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					var sb strings.Builder
+					if err := r.WriteText(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	const workers, perWorker = 4, 500
+	codes := []string{"200", "400", "404", "500", "503"}
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				route := "/v1/route" + strconv.Itoa(w*perWorker+i)
+				r.Counter("reg_requests_total", "h",
+					"route", route, "code", codes[i%len(codes)]).Inc()
+				r.Histogram("reg_duration_seconds", "h", LatencyBuckets,
+					"route", route).Observe(1e-3)
+				r.GaugeFunc("reg_outstanding", "h", func() float64 { return float64(i) })
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	scrapers.Wait()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "\nreg_requests_total{"); got != workers*perWorker {
+		t.Fatalf("exposition has %d reg_requests_total series, want %d", got, workers*perWorker)
 	}
 }
 
