@@ -23,6 +23,12 @@
 //     exactly by TestAnalyzerSteadyStateZeroAlloc instead), or
 //   - ns/op regressed by more than -max-regress percent.
 //
+// Independently of any baseline, every run checks the cache inversion
+// gate: if both engine-sweep benchmarks are present, EngineCachedSweep
+// exceeding EngineUncachedSweep (ns/op beyond a small noise slack, or
+// allocs/op at all) exits 1 — the cache paying for itself is a
+// standing invariant, not a point-in-time comparison.
+//
 // With -out it appends the fresh entry to the trajectory file (creating
 // it when missing) so each PR can land its measured point.
 package main
@@ -123,6 +129,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	status := 0
+	for _, inv := range CheckInversion(entry) {
+		fmt.Fprintf(stderr, "lpdag-bench: INVERSION: %s\n", inv)
+		status = 1
+	}
 	if *baseline != "" {
 		base, err := ReadTrajectory(*baseline)
 		if err != nil {
@@ -198,6 +208,39 @@ func ParseBenchOutput(r io.Reader) (map[string]Measurement, error) {
 		}
 	}
 	return out, sc.Err()
+}
+
+// inversionNsSlack is the multiplicative tolerance of the cache
+// inversion gate's ns/op leg. Cached and uncached sweeps share the
+// same steady-state code path (the analyzer-local memo), so their
+// times differ only by run-to-run noise; 5% covers that noise while
+// still catching anything like the 2× inversion the gate exists for.
+// The allocs/op leg is exact — allocation counts are deterministic.
+const inversionNsSlack = 1.05
+
+// CheckInversion enforces the cache's reason to exist: on the
+// recurring-workload sweep, running WITH the cache must not be slower
+// or more allocation-heavy than running without it. Returns violation
+// descriptions for the entry, empty when the gate passes or either
+// benchmark is absent (a partial -bench run can't judge).
+func CheckInversion(e Entry) []string {
+	cached, okC := e.Benchmarks["EngineCachedSweep"]
+	uncached, okU := e.Benchmarks["EngineUncachedSweep"]
+	if !okC || !okU {
+		return nil
+	}
+	var out []string
+	if cached.NsPerOp > uncached.NsPerOp*inversionNsSlack {
+		out = append(out, fmt.Sprintf(
+			"EngineCachedSweep %.4g ns/op exceeds EngineUncachedSweep %.4g ns/op (+%.0f%% slack): the cache costs more than it saves",
+			cached.NsPerOp, uncached.NsPerOp, 100*(inversionNsSlack-1)))
+	}
+	if cached.AllocsPerOp > uncached.AllocsPerOp {
+		out = append(out, fmt.Sprintf(
+			"EngineCachedSweep %d allocs/op exceeds EngineUncachedSweep %d: the cache allocates on the hot path",
+			cached.AllocsPerOp, uncached.AllocsPerOp))
+	}
+	return out
 }
 
 // Compare reports the regressions of cur vs base: an allocs/op increase

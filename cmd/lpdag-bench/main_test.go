@@ -64,6 +64,38 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+func TestCheckInversion(t *testing.T) {
+	mk := func(cachedNs float64, cachedAllocs int64, uncachedNs float64, uncachedAllocs int64) Entry {
+		return Entry{Benchmarks: map[string]Measurement{
+			"EngineCachedSweep":   {NsPerOp: cachedNs, AllocsPerOp: cachedAllocs},
+			"EngineUncachedSweep": {NsPerOp: uncachedNs, AllocsPerOp: uncachedAllocs},
+		}}
+	}
+	if got := CheckInversion(mk(25000, 96, 26000, 96)); len(got) != 0 {
+		t.Errorf("cached faster, equal allocs: want pass, got %v", got)
+	}
+	// ns/op within the noise slack is tolerated; allocs are exact.
+	if got := CheckInversion(mk(26500, 96, 26000, 96)); len(got) != 0 {
+		t.Errorf("cached +2%% ns/op: want pass (inside slack), got %v", got)
+	}
+	if got := CheckInversion(mk(47000, 96, 23000, 96)); len(got) != 1 || !strings.Contains(got[0], "ns/op") {
+		t.Errorf("2x ns/op inversion: want 1 ns/op violation, got %v", got)
+	}
+	if got := CheckInversion(mk(23000, 258, 23000, 96)); len(got) != 1 || !strings.Contains(got[0], "allocs/op") {
+		t.Errorf("alloc inversion: want 1 allocs/op violation, got %v", got)
+	}
+	if got := CheckInversion(mk(47000, 258, 23000, 96)); len(got) != 2 {
+		t.Errorf("full inversion: want both violations, got %v", got)
+	}
+	// A partial -bench run (either sweep absent) can't judge the gate.
+	partial := Entry{Benchmarks: map[string]Measurement{
+		"EngineCachedSweep": {NsPerOp: 1e9, AllocsPerOp: 1e6},
+	}}
+	if got := CheckInversion(partial); len(got) != 0 {
+		t.Errorf("partial entry: want no judgement, got %v", got)
+	}
+}
+
 func TestTrajectoryRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH.json")
 	traj := Trajectory{Entries: []Entry{{

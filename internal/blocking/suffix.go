@@ -28,7 +28,11 @@ import "repro/internal/dag"
 // Aggregating all n suffixes therefore costs what the old per-suffix
 // code paid for the longest one alone: O(n·m²) instead of O(n²·m²) DP
 // work, and zero allocations in steady state (Reset reuses the heaps and
-// DP rows).
+// DP rows). This is also why suffix aggregates are never memoized in
+// the content-addressed cache: an O(m) push from memoized µ tables is
+// cheaper than hashing a suffix to key it, let alone looking it up —
+// only the µ tables themselves (Mu, the clique search or ILP solve)
+// clear that bar.
 type SuffixAggregator struct {
 	m      int
 	method Method

@@ -62,11 +62,12 @@ type Options struct {
 	// shape. Ignored for FPIdeal.
 	FinalNPRRefinement bool
 
-	// Cache, when non-nil, memoizes content-addressed derived
-	// quantities (µ tables, top-NPR lists, Δ terms) across analyses.
-	// Share one cache between analyzers to make repeated analyses of
-	// overlapping task sets cheap; verdicts are identical with or
-	// without it.
+	// Cache, when non-nil, memoizes the content-addressed µ[c] tables
+	// (the clique-search / ILP-solve work of Equation (6)) across
+	// analyzers. Share one cache so structurally identical graphs —
+	// wherever and however they were built — solve each table once;
+	// cheaper derived quantities are recomputed, never cached. Verdicts
+	// are identical with or without it.
 	Cache *cache.Cache
 
 	// Trace, when non-nil, records analysis-phase span timings into its

@@ -618,8 +618,7 @@ func (g *Graph) SortedWCETs() []int64 {
 // deterministic edge list; display names are excluded because they never
 // affect analysis). Structurally identical graphs — however and wherever
 // they were built — share one fingerprint, which makes it the O(1)
-// content-addressing key for caches and for the suffix digest chains of
-// the analyzer. Memoized on the graph.
+// content-addressing key of the analysis cache. Memoized on the graph.
 func (g *Graph) Fingerprint() string {
 	g.fpOnce.Do(func() {
 		buf := make([]byte, 0, 16*g.N())

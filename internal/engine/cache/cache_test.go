@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -25,6 +26,18 @@ func buildGraph(n int64) *dag.Graph {
 	return b.MustBuild()
 }
 
+// keyIn returns a distinct key pinned to a chosen shard: the shard index
+// is fp[0] mod numShards, so tests can exercise one shard's bound and
+// sweep deterministically.
+func keyIn(shard, id int) key {
+	var k key
+	k.fp[0] = byte(shard)
+	k.fp[1] = byte(id)
+	k.fp[2] = byte(id >> 8)
+	k.m = 4
+	return k
+}
+
 func TestCanonicalContentAddressing(t *testing.T) {
 	g1 := buildGraph(3)
 	g2 := buildGraph(3) // structurally identical, distinct allocation
@@ -44,13 +57,6 @@ func TestCanonicalContentAddressing(t *testing.T) {
 	chain := b.MustBuild()
 	if g1.Fingerprint() == chain.Fingerprint() {
 		t.Error("different edges should change the key")
-	}
-	// Suffix digest chains are order-sensitive and content-addressed.
-	if SuffixDigest(g1, SuffixDigest(g3, "")) == SuffixDigest(g3, SuffixDigest(g1, "")) {
-		t.Error("suffix digest chain must be order-sensitive")
-	}
-	if SuffixDigest(g1, SuffixDigest(g3, "")) != SuffixDigest(g2, SuffixDigest(g3, "")) {
-		t.Error("structurally identical suffixes must share a digest")
 	}
 }
 
@@ -80,106 +86,94 @@ func TestMuTableMatchesBlockingAndHits(t *testing.T) {
 	}
 }
 
-// chainDigest folds SuffixDigest right-to-left over a graph list,
-// yielding the key of the whole list — what rta.Analyzer computes for
-// suffix k via its digest chain.
-func chainDigest(graphs []*dag.Graph) string {
-	d := ""
-	for i := len(graphs) - 1; i >= 0; i-- {
-		d = SuffixDigest(graphs[i], d)
-	}
-	return d
-}
-
-func TestSuffixInterferenceMatchesBlockingCompute(t *testing.T) {
+// TestMuTableKeySplitsOnParams pins that the analysis parameters are
+// part of the key: the same graph at a different core count or solver
+// backend must not share an entry.
+func TestMuTableKeySplitsOnParams(t *testing.T) {
 	c := New(64)
-	graphs := fixture.LowerPriorityGraphs()
-	digest := chainDigest(graphs)
-	for _, method := range []blocking.Method{blocking.LPILP, blocking.LPMax} {
-		want := blocking.Compute(graphs, fixture.M, method, blocking.Combinatorial)
-		computes := 0
-		lookup := func() blocking.Interference {
-			return c.SuffixInterference(method, fixture.M, blocking.Combinatorial, digest, func() blocking.Interference {
-				computes++
-				return blocking.Compute(graphs, fixture.M, method, blocking.Combinatorial)
-			})
-		}
-		if got := lookup(); got != want {
-			t.Errorf("%v interference: got %+v want %+v", method, got, want)
-		}
-		// Repeat lookups must be hits and identical.
-		if again := lookup(); again != want || computes != 1 {
-			t.Errorf("%v second lookup: got %+v (computes=%d), want %+v computed once",
-				method, again, computes, want)
-		}
+	g := fixture.Tau2()
+	c.MuTable(g, 2, blocking.Combinatorial)
+	c.MuTable(g, 4, blocking.Combinatorial)
+	c.MuTable(g, 4, blocking.PaperILP)
+	if s := c.Stats(); s.Misses != 3 || s.Hits != 0 {
+		t.Fatalf("stats = %+v, want 3 distinct misses", s)
+	}
+	a := c.MuTable(g, 4, blocking.Combinatorial)
+	b := c.MuTable(g, 4, blocking.PaperILP)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("backends disagree on µ: %v vs %v", a, b)
 	}
 }
 
-func TestTopNPRs(t *testing.T) {
-	c := New(8)
-	g := buildGraph(5)
-	want := blocking.TopNPRs(g, 4)
-	got := c.TopNPRs(g, 4)
-	if fmt.Sprint(got) != fmt.Sprint(want) {
-		t.Fatalf("top NPRs %v disagree with blocking (%v)", got, want)
+// TestCacheHitZeroAlloc pins the tentpole contract: serving a
+// materialized µ table allocates nothing — no key serialization, no
+// boxing, no LRU bookkeeping, no channel receive. This is what makes a
+// hit strictly cheaper than recompute.
+func TestCacheHitZeroAlloc(t *testing.T) {
+	c := New(64)
+	g := fixture.Tau1()
+	c.MuTable(g, fixture.M, blocking.Combinatorial) // materialize
+	var sink []int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink = c.MuTable(g, fixture.M, blocking.Combinatorial)
+	})
+	if allocs != 0 {
+		t.Errorf("cache hit allocates %.1f objects/op, want 0", allocs)
 	}
-	if again := c.TopNPRs(g.Clone(), 4); fmt.Sprint(again) != fmt.Sprint(want) {
-		t.Fatalf("clone lookup returned %v, want %v", again, want)
-	}
-	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
-		t.Fatalf("stats = %+v, want 1 hit / 1 miss", s)
-	}
-}
-
-func TestLRUEviction(t *testing.T) {
-	c := New(4)
-	for i := int64(0); i < 10; i++ {
-		c.TopNPRs(buildGraph(i), 4)
-	}
-	s := c.Stats()
-	if s.Entries != 4 {
-		t.Errorf("entries = %d, want 4 (bounded)", s.Entries)
-	}
-	if s.Evictions != 6 {
-		t.Errorf("evictions = %d, want 6", s.Evictions)
-	}
-	// The most recent entries survive; the oldest were evicted.
-	c.TopNPRs(buildGraph(9), 4)
-	if got := c.Stats(); got.Hits != s.Hits+1 {
-		t.Errorf("most-recent entry should still be cached: %+v", got)
-	}
-	c.TopNPRs(buildGraph(0), 4)
-	if got := c.Stats(); got.Misses != s.Misses+1 {
-		t.Errorf("oldest entry should have been evicted: %+v", got)
+	if len(sink) == 0 {
+		t.Fatal("hit returned empty table")
 	}
 }
 
-// TestSingleflight verifies concurrent requests for one missing key
-// compute once: the compute function blocks until every goroutine has
-// requested the key, so all but the first must wait on the in-flight
-// entry rather than compute their own.
-func TestSingleflight(t *testing.T) {
+func BenchmarkCacheHit(b *testing.B) {
+	c := New(64)
+	g := fixture.Tau1()
+	c.MuTable(g, fixture.M, blocking.Combinatorial)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.MuTable(g, fixture.M, blocking.Combinatorial)
+	}
+}
+
+// TestSingleflightWaits verifies concurrent requests for one missing
+// key compute once, and that the accounting is honest: the goroutines
+// that blocked on the in-flight entry are waits, not hits — they paid
+// the full compute latency, so counting them as hits would inflate the
+// hit ratio exactly when the cache is slow.
+func TestSingleflightWaits(t *testing.T) {
 	c := New(16)
 	const n = 8
+	k := keyIn(0, 1)
 	var computes int
-	arrived := make(chan struct{}, n)
+	computing := make(chan struct{})
 	release := make(chan struct{})
 	var wg sync.WaitGroup
-	results := make([]any, n)
-	for i := 0; i < n; i++ {
+	results := make([][]int64, n)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0] = c.get(k, func() []int64 {
+			computes++ // safe: only one goroutine may run this
+			close(computing)
+			<-release
+			return []int64{42}
+		})
+	}()
+	<-computing // the in-flight entry exists; everyone else must wait
+	for i := 1; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			arrived <- struct{}{}
-			results[i] = c.do("k", func() any {
-				computes++ // safe: only one goroutine may run this
-				<-release
-				return 42
+			results[i] = c.get(k, func() []int64 {
+				t.Error("waiter ran the compute")
+				return nil
 			})
 		}(i)
 	}
-	for i := 0; i < n; i++ {
-		<-arrived
+	// Wait until every waiter is counted before releasing the compute.
+	for c.Stats().Waits != n-1 {
+		runtime.Gosched()
 	}
 	close(release)
 	wg.Wait()
@@ -187,19 +181,151 @@ func TestSingleflight(t *testing.T) {
 		t.Fatalf("compute ran %d times, want 1", computes)
 	}
 	for i, r := range results {
-		if r != 42 {
-			t.Fatalf("goroutine %d got %v, want 42", i, r)
+		if len(r) != 1 || r[0] != 42 {
+			t.Fatalf("goroutine %d got %v, want [42]", i, r)
 		}
 	}
 	s := c.Stats()
-	if s.Misses != 1 || s.Hits != n-1 {
-		t.Fatalf("stats = %+v, want 1 miss / %d hits", s, n-1)
+	if s.Misses != 1 || s.Waits != n-1 || s.Hits != 0 {
+		t.Fatalf("stats = %+v, want 1 miss / %d waits / 0 hits", s, n-1)
+	}
+	// A lookup after materialization is the genuine hit.
+	c.get(k, func() []int64 { t.Error("hit ran the compute"); return nil })
+	if s := c.Stats(); s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 hit after materialization", s)
 	}
 }
 
-// TestConcurrentHammer drives the full typed API from many goroutines
-// over a small key space with an eviction-prone bound; run with -race
-// this is the cache's data-race certification.
+// TestPanicPoisoning is the regression test for the waiter-poisoning
+// bug: a panicking compute used to close the ready channel with a nil
+// value, so blocked waiters woke into a confusing secondary failure on
+// unrelated goroutines. Now the entry is poisoned with the original
+// cause — the computer and every waiter re-panic with it — and the key
+// is dropped so a later lookup recomputes cleanly.
+func TestPanicPoisoning(t *testing.T) {
+	c := New(16)
+	const waiters = 4
+	k := keyIn(0, 2)
+	cause := fmt.Errorf("ilp backend rejected the model")
+	computing := make(chan struct{})
+	release := make(chan struct{})
+	recovered := make(chan any, waiters+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { recovered <- recover() }()
+		c.get(k, func() []int64 {
+			close(computing)
+			<-release
+			panic(cause)
+		})
+	}()
+	<-computing
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { recovered <- recover() }()
+			c.get(k, func() []int64 {
+				t.Error("waiter ran the compute")
+				return nil
+			})
+		}()
+	}
+	for c.Stats().Waits != waiters {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	close(recovered)
+	got := 0
+	for r := range recovered {
+		got++
+		if r != cause {
+			t.Errorf("goroutine panicked with %v, want the original cause", r)
+		}
+	}
+	if got != waiters+1 {
+		t.Fatalf("%d goroutines panicked, want %d", got, waiters+1)
+	}
+	// The poisoned entry must be gone: no phantom materialized entry,
+	// and the next lookup recomputes successfully.
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("stats = %+v, want 0 entries after poisoned compute", s)
+	}
+	v := c.get(k, func() []int64 { return []int64{7} })
+	if len(v) != 1 || v[0] != 7 {
+		t.Fatalf("recompute after poisoning returned %v, want [7]", v)
+	}
+	if s := c.Stats(); s.Misses != 2 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 2 misses / 1 entry after recompute", s)
+	}
+}
+
+// TestEntriesExcludeInFlight pins the gauge invariant: Stats.Entries
+// counts materialized values only, so it can never transiently exceed
+// the bound while concurrent misses are mid-compute (the old
+// count-at-insertion scheme could).
+func TestEntriesExcludeInFlight(t *testing.T) {
+	c := New(numShards) // one materialized entry per shard
+	const inflight = 6
+	release := make(chan struct{})
+	var started, wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		started.Add(1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.get(keyIn(i, 100+i), func() []int64 {
+				started.Done()
+				<-release
+				return []int64{int64(i)}
+			})
+		}(i)
+	}
+	started.Wait() // all six computes are in flight
+	if s := c.Stats(); s.Entries != 0 {
+		t.Errorf("entries = %d with only in-flight computes, want 0", s.Entries)
+	}
+	close(release)
+	wg.Wait()
+	s := c.Stats()
+	if s.Entries != inflight {
+		t.Errorf("entries = %d after materialization, want %d", s.Entries, inflight)
+	}
+	if s.Entries > c.Cap() {
+		t.Errorf("entries %d exceeds Cap %d", s.Entries, c.Cap())
+	}
+}
+
+// TestSecondChanceEviction pins the eviction policy on one shard:
+// inserting past the shard bound sweeps, and an entry referenced since
+// the last sweep survives the round while unreferenced ones are
+// evicted. No hit ever mutates shared eviction state — only its
+// entry's reference bit.
+func TestSecondChanceEviction(t *testing.T) {
+	c := New(2 * numShards) // perShard = 2
+	mk := func(id int) key { return keyIn(3, id) }
+	val := func(id int) func() []int64 { return func() []int64 { return []int64{int64(id)} } }
+	c.get(mk(1), val(1))
+	c.get(mk(2), val(2))
+	c.get(mk(1), val(1)) // hit: marks 1's reference bit
+	c.get(mk(3), val(3)) // over bound → sweep
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction / 2 entries", s)
+	}
+	// The referenced entry survived: looking it up again is a hit.
+	c.get(mk(1), func() []int64 { t.Error("referenced entry was evicted"); return nil })
+	if got := c.Stats(); got.Hits != s.Hits+1 {
+		t.Fatalf("stats = %+v, want a hit on the surviving entry", got)
+	}
+}
+
+// TestConcurrentHammer drives MuTable from many goroutines over a small
+// key space with an eviction-prone bound; run with -race this is the
+// cache's data-race certification.
 func TestConcurrentHammer(t *testing.T) {
 	c := New(8)
 	graphs := fixture.LowerPriorityGraphs()
@@ -211,35 +337,27 @@ func TestConcurrentHammer(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				g := graphs[(w+i)%len(graphs)]
 				c.MuTable(g, fixture.M, blocking.Combinatorial)
-				c.TopNPRs(g, fixture.M)
-				if i%5 == 0 {
-					c.SuffixInterference(blocking.LPILP, fixture.M, blocking.Combinatorial, chainDigest(graphs), func() blocking.Interference {
-						return blocking.Compute(graphs, fixture.M, blocking.LPILP, blocking.Combinatorial)
-					})
-					c.SuffixInterference(blocking.LPMax, fixture.M, blocking.Combinatorial, chainDigest(graphs), func() blocking.Interference {
-						return blocking.Compute(graphs, fixture.M, blocking.LPMax, blocking.Combinatorial)
-					})
-				}
+				c.MuTable(g, 2, blocking.Combinatorial)
 				c.Stats()
 			}
 		}(w)
 	}
 	wg.Wait()
-	want := blocking.Compute(graphs, fixture.M, blocking.LPILP, blocking.Combinatorial)
-	got := c.SuffixInterference(blocking.LPILP, fixture.M, blocking.Combinatorial, chainDigest(graphs), func() blocking.Interference {
-		return blocking.Compute(graphs, fixture.M, blocking.LPILP, blocking.Combinatorial)
-	})
-	if got != want {
-		t.Fatalf("post-hammer interference %+v, want %+v", got, want)
+	for _, g := range graphs {
+		want := blocking.Mu(g, fixture.M, blocking.Combinatorial)
+		got := c.MuTable(g, fixture.M, blocking.Combinatorial)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("post-hammer µ %v, want %v", got, want)
+		}
 	}
 }
 
 // TestConcurrentStatsScrape hammers lookups while dedicated goroutines
 // scrape Stats() in a tight loop — the /metrics-under-load shape. With
-// the counters on atomics the scrape never takes the cache lock; -race
+// the counters on atomics the scrape never takes a shard lock; -race
 // certifies the combination, and the final snapshot must balance:
-// monotone counters, hits+misses equal to the lookups issued, and the
-// entry count within the LRU bound.
+// monotone counters, hits+misses+waits equal to the lookups issued, and
+// the materialized-entry count within the capacity bound.
 func TestConcurrentStatsScrape(t *testing.T) {
 	c := New(8)
 	graphs := fixture.LowerPriorityGraphs()
@@ -257,7 +375,8 @@ func TestConcurrentStatsScrape(t *testing.T) {
 					return
 				default:
 					got := c.Stats()
-					if got.Hits < prev.Hits || got.Misses < prev.Misses || got.Evictions < prev.Evictions {
+					if got.Hits < prev.Hits || got.Misses < prev.Misses ||
+						got.Waits < prev.Waits || got.Evictions < prev.Evictions {
 						t.Errorf("counters went backwards: %+v after %+v", got, prev)
 						return
 					}
@@ -274,7 +393,7 @@ func TestConcurrentStatsScrape(t *testing.T) {
 			for i := 0; i < iters; i++ {
 				g := graphs[(w+i)%len(graphs)]
 				c.MuTable(g, fixture.M, blocking.Combinatorial)
-				c.TopNPRs(g, fixture.M)
+				c.MuTable(g, 2, blocking.Combinatorial)
 			}
 		}(w)
 	}
@@ -282,10 +401,10 @@ func TestConcurrentStatsScrape(t *testing.T) {
 	close(stop)
 	scrapers.Wait()
 	s := c.Stats()
-	if got, want := s.Hits+s.Misses, uint64(workers*iters*2); got != want {
-		t.Errorf("hits+misses = %d, want %d lookups", got, want)
+	if got, want := s.Hits+s.Misses+s.Waits, uint64(workers*iters*2); got != want {
+		t.Errorf("hits+misses+waits = %d, want %d lookups", got, want)
 	}
-	if s.Entries < 0 || s.Entries > 8 {
-		t.Errorf("entries = %d, want within LRU bound 8", s.Entries)
+	if s.Entries < 0 || s.Entries > c.Cap() {
+		t.Errorf("entries = %d, want within capacity %d", s.Entries, c.Cap())
 	}
 }

@@ -107,8 +107,12 @@ func TestStatsCounters(t *testing.T) {
 	e := testEngine(t, Config{Workers: 2})
 	ctx := context.Background()
 	ts := fixture.TaskSet()
+	// Each iteration rebuilds the fixture, so the engine sees
+	// structurally identical but physically distinct graphs — the shape
+	// that must hit the content-addressed cache (same-instance repeats
+	// are absorbed earlier, by the pooled analyzer's identity memo).
 	for i := 0; i < 3; i++ {
-		if _, err := e.Analyze(ctx, ts, AnalyzeSpec{Cores: fixture.M, Method: core.LPILP}); err != nil {
+		if _, err := e.Analyze(ctx, fixture.TaskSet(), AnalyzeSpec{Cores: fixture.M, Method: core.LPILP}); err != nil {
 			t.Fatal(err)
 		}
 	}

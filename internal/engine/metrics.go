@@ -62,19 +62,22 @@ func (e *Engine) registerMetrics(r *obs.Registry) {
 
 	if c := e.memo; c != nil {
 		r.CounterFunc("lpdag_cache_hits_total",
-			"Analysis cache lookups served from the store.",
+			"Analysis cache lookups served from a materialized entry.",
 			func() float64 { return float64(c.Stats().Hits) })
 		r.CounterFunc("lpdag_cache_misses_total",
 			"Analysis cache lookups that had to compute.",
 			func() float64 { return float64(c.Stats().Misses) })
+		r.CounterFunc("lpdag_cache_waits_total",
+			"Analysis cache lookups that blocked on another goroutine's in-flight compute.",
+			func() float64 { return float64(c.Stats().Waits) })
 		r.CounterFunc("lpdag_cache_evictions_total",
-			"Analysis cache entries evicted by the LRU bound.",
+			"Analysis cache entries evicted by the second-chance size bound.",
 			func() float64 { return float64(c.Stats().Evictions) })
 		r.GaugeFunc("lpdag_cache_entries",
-			"Live analysis cache entries (including in-flight computes).",
+			"Materialized analysis cache entries (in-flight computes excluded).",
 			func() float64 { return float64(c.Stats().Entries) })
 		r.GaugeFunc("lpdag_cache_hit_ratio",
-			"hits/(hits+misses) since process start; 0 before any lookup.",
+			"hits/(hits+misses+waits) since process start; 0 before any lookup.",
 			func() float64 { return c.Stats().HitRate() })
 	}
 }

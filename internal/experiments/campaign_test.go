@@ -238,10 +238,21 @@ func TestCampaignSharedEngineCache(t *testing.T) {
 	if st.Sweeps != 8 {
 		t.Errorf("%d sweep jobs, want 8", st.Sweeps)
 	}
-	// Three methods analyze each generated set back to back, so the
-	// campaign-shared cache must see hits.
-	if st.Cache.Hits == 0 {
-		t.Error("campaign-shared cache saw no hits")
+	// A single campaign pass is a stream of fresh sets: it populates
+	// the cache (µ-table misses materialize entries) but has nothing to
+	// hit — the cheap per-method quantities that used to inflate the
+	// hit counter are no longer memoized.
+	if st.Cache.Misses == 0 || st.Cache.Entries == 0 {
+		t.Errorf("campaign run did not populate the shared cache: %+v", st.Cache)
+	}
+	// Re-running the campaign regenerates structurally identical sets
+	// (deterministic seeds) as fresh objects; the content-addressed
+	// entries from the first pass must serve them.
+	if _, err := RunCampaign(cfg, RunOptions{Engine: eng}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Cache.Hits == 0 {
+		t.Error("repeated campaign saw no content-addressed cache hits")
 	}
 }
 

@@ -30,7 +30,7 @@ import (
 var metricsCatalog = []string{
 	"go_goroutines|gauge||Current number of goroutines.",
 	"go_memstats_heap_inuse_bytes|gauge||Bytes in in-use heap spans.",
-	"lpdag_analysis_cache_lookup_seconds|histogram||Time per suffix-interference cache lookup.",
+	"lpdag_analysis_cache_lookup_seconds|histogram||Time per shared-cache µ-table fetch (analyzer-local memo misses only).",
 	"lpdag_analysis_fixed_point_iterations|histogram||Iterations per response-time fixed point.",
 	"lpdag_analysis_fixed_point_seconds|histogram||Time per per-task response-time fixed point.",
 	"lpdag_analysis_full_runs_total|counter||From-scratch analysis passes.",
@@ -38,11 +38,12 @@ var metricsCatalog = []string{
 	"lpdag_analysis_suffix_push_seconds|histogram||Time in full bottom-up blocking aggregator pushes.",
 	"lpdag_analysis_suffix_restore_seconds|histogram||Time restoring and replaying suffix blocking checkpoints in incremental re-analysis.",
 	"lpdag_build_info|gauge|go,version|Build metadata; the value is always 1.",
-	"lpdag_cache_entries|gauge||Live analysis cache entries (including in-flight computes).",
-	"lpdag_cache_evictions_total|counter||Analysis cache entries evicted by the LRU bound.",
-	"lpdag_cache_hit_ratio|gauge||hits/(hits+misses) since process start; 0 before any lookup.",
-	"lpdag_cache_hits_total|counter||Analysis cache lookups served from the store.",
+	"lpdag_cache_entries|gauge||Materialized analysis cache entries (in-flight computes excluded).",
+	"lpdag_cache_evictions_total|counter||Analysis cache entries evicted by the second-chance size bound.",
+	"lpdag_cache_hit_ratio|gauge||hits/(hits+misses+waits) since process start; 0 before any lookup.",
+	"lpdag_cache_hits_total|counter||Analysis cache lookups served from a materialized entry.",
 	"lpdag_cache_misses_total|counter||Analysis cache lookups that had to compute.",
+	"lpdag_cache_waits_total|counter||Analysis cache lookups that blocked on another goroutine's in-flight compute.",
 	"lpdag_campaign_eta_seconds|gauge||Linear-extrapolation ETA of the current campaign; 0 when done or unknown.",
 	"lpdag_campaign_points_completed_total|counter||Campaign points computed by this process, cumulative across runs.",
 	"lpdag_campaign_points_done|gauge||Points of the current campaign finished so far, including any resumed prefix.",

@@ -15,8 +15,9 @@ package obs
 //     sides are measured.
 //   - SuffixPush: a full bottom-up blocking push pass (AnalyzeInPlace's
 //     lazy scan, amortized over the tasks it served).
-//   - CacheLookup: one suffix-interference digest-chain lookup in the
-//     shared cache.
+//   - CacheLookup: one µ-table fetch from the shared content-addressed
+//     cache (reached only when the analyzer-local identity memo
+//     misses, so the series measures genuine cross-analyzer traffic).
 //   - FixedPoint: one per-task response-time fixed point (solveTask).
 //   - FixedPointIters: iterations that fixed point took to converge.
 //
@@ -60,7 +61,7 @@ func NewTrace(r *Registry) *Trace {
 			"Time in full bottom-up blocking aggregator pushes.",
 			SpanBuckets),
 		CacheLookup: r.Histogram("lpdag_analysis_cache_lookup_seconds",
-			"Time per suffix-interference cache lookup.",
+			"Time per shared-cache µ-table fetch (analyzer-local memo misses only).",
 			SpanBuckets),
 		FixedPoint: r.Histogram("lpdag_analysis_fixed_point_seconds",
 			"Time per per-task response-time fixed point.",

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/blocking"
 	"repro/internal/engine/cache"
 	"repro/internal/fixture"
 	"repro/internal/model"
@@ -16,32 +17,38 @@ import (
 
 // TestAnalyzerSteadyStateZeroAlloc pins the perf contract of the
 // reusable analyzer: once an Analyzer has seen a task set's graphs, the
-// whole cache-less analysis — scratch setup, suffix-incremental
-// blocking aggregation, and the fixed-point loops — performs no heap
-// allocation for any method.
+// whole analysis — scratch setup, suffix-incremental blocking
+// aggregation, and the fixed-point loops — performs no heap allocation
+// for any method, with or without a shared cache. (With one, steady
+// state resolves every µ table in the analyzer-local identity memo, so
+// the shared cache costs nothing once warm — the contract that keeps a
+// cached engine no slower than an uncached one.)
 func TestAnalyzerSteadyStateZeroAlloc(t *testing.T) {
 	ts := fixture.TaskSet()
 	for _, method := range []Method{FPIdeal, LPMax, LPILP} {
-		a, err := NewAnalyzer(Config{M: fixture.M, Method: method})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := a.AnalyzeInPlace(context.Background(), ts); err != nil { // warm the memos
-			t.Fatal(err)
-		}
-		var sink *Result
-		allocs := testing.AllocsPerRun(100, func() {
-			r, err := a.AnalyzeInPlace(context.Background(), ts)
+		for _, memo := range []*cache.Cache{nil, cache.New(0)} {
+			a, err := NewAnalyzer(Config{M: fixture.M, Method: method, Cache: memo})
 			if err != nil {
-				panic(err)
+				t.Fatal(err)
 			}
-			sink = r
-		})
-		if allocs != 0 {
-			t.Errorf("%v: steady-state AnalyzeInPlace allocates %.1f objects/op, want 0", method, allocs)
-		}
-		if sink == nil || len(sink.Tasks) != ts.N() {
-			t.Fatalf("%v: bad result", method)
+			if _, err := a.AnalyzeInPlace(context.Background(), ts); err != nil { // warm the memos
+				t.Fatal(err)
+			}
+			var sink *Result
+			allocs := testing.AllocsPerRun(100, func() {
+				r, err := a.AnalyzeInPlace(context.Background(), ts)
+				if err != nil {
+					panic(err)
+				}
+				sink = r
+			})
+			if allocs != 0 {
+				t.Errorf("%v (cached=%v): steady-state AnalyzeInPlace allocates %.1f objects/op, want 0",
+					method, memo != nil, allocs)
+			}
+			if sink == nil || len(sink.Tasks) != ts.N() {
+				t.Fatalf("%v: bad result", method)
+			}
 		}
 	}
 }
@@ -138,6 +145,78 @@ func TestAnalyzerEquivalence(t *testing.T) {
 	}
 }
 
+// TestCachedUncachedEquivalenceUnderEdits quick-checks the cache
+// demotion invariant end to end: a cached analyzer and an uncached one
+// report bit-identical results across methods, solver backends, and a
+// random edit sequence applied to the task set (swap priorities, drop
+// a task, append a fresh one — the session workload shape). One cache
+// instance serves the whole sequence, so µ tables materialized for an
+// earlier version of the set are re-served, content-addressed, to the
+// edited versions; every TaskResult field must still match recompute.
+func TestCachedUncachedEquivalenceUnderEdits(t *testing.T) {
+	for _, method := range []Method{LPMax, LPILP} {
+		for _, be := range []blocking.Backend{blocking.Combinatorial, blocking.PaperILP} {
+			memo := cache.New(0)
+			cached, err := NewAnalyzer(Config{M: 3, Method: method, Backend: be, Cache: memo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := NewAnalyzer(Config{M: 3, Method: method, Backend: be})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				ts := randomTaskSet(rng, 2+rng.Intn(3))
+				for step := 0; ; step++ {
+					got, err := cached.AnalyzeInPlace(context.Background(), ts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := plain.AnalyzeInPlace(context.Background(), ts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Schedulable != want.Schedulable || len(got.Tasks) != len(want.Tasks) {
+						return false
+					}
+					for i := range got.Tasks {
+						if got.Tasks[i] != want.Tasks[i] {
+							t.Logf("seed=%d method=%v be=%v step=%d task=%d: cached %+v uncached %+v",
+								seed, method, be, step, i, got.Tasks[i], want.Tasks[i])
+							return false
+						}
+					}
+					if step == 3 {
+						return true
+					}
+					tasks := append([]*model.Task(nil), ts.Tasks...)
+					switch n := len(tasks); rng.Intn(3) {
+					case 0: // swap two priorities
+						i, j := rng.Intn(n), rng.Intn(n)
+						tasks[i], tasks[j] = tasks[j], tasks[i]
+					case 1: // drop one task (keep the set non-empty)
+						if n > 1 {
+							i := rng.Intn(n)
+							tasks = append(tasks[:i], tasks[i+1:]...)
+						}
+					default: // append a fresh lowest-priority task
+						tasks = append(tasks, randomTaskSet(rng, 1).Tasks[0])
+					}
+					ts = &model.TaskSet{Tasks: tasks}
+				}
+			}
+			maxCount := 30
+			if be == blocking.PaperILP {
+				maxCount = 8 // the ILP backend is orders of magnitude slower
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: maxCount}); err != nil {
+				t.Errorf("%v/%v: %v", method, be, err)
+			}
+		}
+	}
+}
+
 // TestAnalyzerMuMemoColdDrop pins the retention policy of the
 // analyzer-local µ memo: identity keying only pays off when the same
 // TaskSet instance is re-analyzed, so a stream of freshly built sets —
@@ -194,11 +273,6 @@ func TestAnalyzerScratchTailCleared(t *testing.T) {
 	for i, g := range a.graphs[len(a.graphs):cap(a.graphs)] {
 		if g != nil {
 			t.Fatalf("scratch tail index %d still pins a graph", i)
-		}
-	}
-	for i, d := range a.digests[len(a.digests):cap(a.digests)] {
-		if d != "" {
-			t.Fatalf("digest tail index %d not cleared", i)
 		}
 	}
 }

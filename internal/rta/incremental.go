@@ -14,8 +14,7 @@ package rta
 //     checkpoint of the aggregator is saved after every push
 //     (blocking.SuffixCheckpoint, O(m) each); the next call restores
 //     the checkpoint of the longest unchanged tail and replays only the
-//     pushes above it — the in-memory analogue of the cache's suffix
-//     digest chain, minus the hashing.
+//     pushes above it.
 //   - Fixed points: a task's stored TaskResult is reused verbatim when
 //     its identity, its Δ pair, and the higher-priority state above it
 //     are unchanged. The fixed point reads hp(k) only as the positional

@@ -326,12 +326,14 @@ type (
 	// stops the shard endpoint taking leases), and the shard handler
 	// feeds its load gauges.
 	EngineServer = engine.Server
-	// Cache is the content-addressed memo store for derived analysis
-	// quantities (µ tables, top-NPR lists, Δ terms); share one via
-	// Options.Cache to make repeated analyses of overlapping task sets
-	// cheap.
+	// Cache is the content-addressed memo store for the expensive
+	// µ-table computations (clique searches, ILP solves); share one via
+	// Options.Cache so structurally identical graphs — however they
+	// arrive — solve each table once across analyzers. Cheap derived
+	// quantities are recomputed, never cached: a hit must beat
+	// recompute, or it isn't worth a lookup.
 	Cache = cache.Cache
-	// CacheStats snapshots a Cache's hit/miss/eviction counters.
+	// CacheStats snapshots a Cache's hit/miss/wait/eviction counters.
 	CacheStats = cache.Stats
 	// MetricsRegistry collects the process's metric series and writes
 	// Prometheus text exposition. Pass one via EngineConfig.Obs to

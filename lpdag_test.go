@@ -212,8 +212,11 @@ func TestFacadeEngine(t *testing.T) {
 	if rep.String() != direct.String() {
 		t.Errorf("engine and direct analysis disagree:\n%s\nvs\n%s", rep, direct)
 	}
-	// A second identical request must be served from the cache.
-	if _, err := e.Analyze(context.Background(), ts, AnalyzeSpec{Cores: 4, Method: LPILP}); err != nil {
+	// A structurally identical request arriving as fresh objects — the
+	// deserialized-from-JSON server shape — must be served from the
+	// content-addressed cache: the µ tables computed for the first
+	// request are keyed by graph content, not identity.
+	if _, err := e.Analyze(context.Background(), PaperExample(), AnalyzeSpec{Cores: 4, Method: LPILP}); err != nil {
 		t.Fatal(err)
 	}
 	st := e.Stats()
