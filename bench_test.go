@@ -6,11 +6,16 @@
 package lpdag
 
 import (
+	"bytes"
 	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/blocking"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/fixture"
 	"repro/internal/ilp"
@@ -511,4 +516,60 @@ func BenchmarkSessionAdmitProbe(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchServeAnalyze drives the full HTTP serving path — request decode,
+// batch dispatch, pooled response encode — with one 16-item /v1/analyze
+// batch per iteration, in the codec named by accept. This is the
+// serving-path number of BENCH_analyze.json and part of the lpdag-bench
+// regression gate: the response side must stay on the pooled
+// encoder, so allocs/op is effectively the per-batch serving overhead.
+func benchServeAnalyze(b *testing.B, accept string) {
+	b.Helper()
+	g := NewGenerator(77, PaperGenParams(GroupMixed))
+	var batch bytes.Buffer
+	batch.WriteString(`{"cores": 8, "method": "lp-ilp", "requests": [`)
+	for i := 0; i < 16; i++ {
+		raw, err := g.TaskSet(2.0).MarshalJSON()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i > 0 {
+			batch.WriteByte(',')
+		}
+		fmt.Fprintf(&batch, `{"taskset": %s}`, raw)
+	}
+	batch.WriteString(`]}`)
+	body := batch.Bytes()
+
+	e := engine.New(engine.Config{Workers: 4})
+	defer e.Close()
+	h := engine.NewServer(e, engine.ServerConfig{})
+	run := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/analyze", bytes.NewReader(body))
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body)
+		}
+		return w
+	}
+	run() // warm the engine's pooled analyzers and µ memos
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// BenchmarkServeAnalyze is the JSON serving path.
+func BenchmarkServeAnalyze(b *testing.B) { benchServeAnalyze(b, "") }
+
+// BenchmarkServeAnalyzeBinary is the same batch answered in the
+// length-prefixed binary framing (Accept: application/x-lpdag-bin).
+func BenchmarkServeAnalyzeBinary(b *testing.B) {
+	benchServeAnalyze(b, "application/x-lpdag-bin")
 }

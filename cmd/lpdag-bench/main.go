@@ -23,11 +23,18 @@
 //     exactly by TestAnalyzerSteadyStateZeroAlloc instead), or
 //   - ns/op regressed by more than -max-regress percent.
 //
-// Independently of any baseline, every run checks the cache inversion
-// gate: if both engine-sweep benchmarks are present, EngineCachedSweep
-// exceeding EngineUncachedSweep (ns/op beyond a small noise slack, or
-// allocs/op at all) exits 1 — the cache paying for itself is a
-// standing invariant, not a point-in-time comparison.
+// Independently of any baseline, every run checks two standing gates:
+//
+//   - cache inversion: if both engine-sweep benchmarks are present,
+//     EngineCachedSweep exceeding EngineUncachedSweep (ns/op beyond a
+//     small noise slack, or allocs/op at all) exits 1 — the cache
+//     paying for itself is an invariant, not a point-in-time
+//     comparison;
+//   - serving allocation budget: CampaignThroughput allocs/op above
+//     -max-campaign-allocs exits 1 — the pooled stream encoders keep a
+//     campaign's allocation cost O(1) per batch, and the absolute
+//     budget catches compounding creep a relative gate would wave
+//     through.
 //
 // With -out it appends the fresh entry to the trajectory file (creating
 // it when missing) so each PR can land its measured point.
@@ -70,7 +77,16 @@ type Trajectory struct {
 }
 
 // DefaultBench is the tracked benchmark set.
-const DefaultBench = "^(BenchmarkAnalyzePoint|BenchmarkCampaignThroughput|BenchmarkEngineUncachedSweep|BenchmarkEngineCachedSweep|BenchmarkSessionEdit|BenchmarkSessionEditFullReanalysis|BenchmarkSessionAdmitProbe)$"
+const DefaultBench = "^(BenchmarkAnalyzePoint|BenchmarkCampaignThroughput|BenchmarkEngineUncachedSweep|BenchmarkEngineCachedSweep|BenchmarkSessionEdit|BenchmarkSessionEditFullReanalysis|BenchmarkSessionAdmitProbe|BenchmarkServeAnalyze|BenchmarkServeAnalyzeBinary)$"
+
+// DefaultMaxCampaignAllocs is the standing allocation budget of the
+// serving data plane: BenchmarkCampaignThroughput (one full campaign —
+// generation, three methods, streaming — per op) may not exceed this
+// many allocs/op. The pooled solver and wire codecs brought the number
+// from ~362k to ~60k; the budget holds a 1.5× headroom over that so
+// noise passes but any per-result allocation creeping back into the
+// stream path (which multiplies by the point count) fails loudly.
+const DefaultMaxCampaignAllocs = 90000
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -80,14 +96,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lpdag-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		bench      = fs.String("bench", DefaultBench, "benchmark regex passed to go test -bench")
-		count      = fs.Int("count", 3, "repetitions per benchmark (best of n is recorded)")
-		benchtime  = fs.String("benchtime", "", "go test -benchtime (empty = go default)")
-		pkg        = fs.String("pkg", ".", "package pattern to benchmark")
-		label      = fs.String("label", "", "entry label (default: bench-<date>)")
-		out        = fs.String("out", "", "trajectory file to append the entry to")
-		baseline   = fs.String("baseline", "", "trajectory file to regress against (its last entry)")
-		maxRegress = fs.Float64("max-regress", 20, "max tolerated ns/op regression in percent")
+		bench             = fs.String("bench", DefaultBench, "benchmark regex passed to go test -bench")
+		count             = fs.Int("count", 3, "repetitions per benchmark (best of n is recorded)")
+		benchtime         = fs.String("benchtime", "", "go test -benchtime (empty = go default)")
+		pkg               = fs.String("pkg", ".", "package pattern to benchmark")
+		label             = fs.String("label", "", "entry label (default: bench-<date>)")
+		out               = fs.String("out", "", "trajectory file to append the entry to")
+		baseline          = fs.String("baseline", "", "trajectory file to regress against (its last entry)")
+		maxRegress        = fs.Float64("max-regress", 20, "max tolerated ns/op regression in percent")
+		maxCampaignAllocs = fs.Int64("max-campaign-allocs", DefaultMaxCampaignAllocs,
+			"standing allocs/op budget for CampaignThroughput (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -131,6 +149,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	status := 0
 	for _, inv := range CheckInversion(entry) {
 		fmt.Fprintf(stderr, "lpdag-bench: INVERSION: %s\n", inv)
+		status = 1
+	}
+	for _, over := range CheckServingBudget(entry, *maxCampaignAllocs) {
+		fmt.Fprintf(stderr, "lpdag-bench: BUDGET: %s\n", over)
 		status = 1
 	}
 	if *baseline != "" {
@@ -239,6 +261,27 @@ func CheckInversion(e Entry) []string {
 		out = append(out, fmt.Sprintf(
 			"EngineCachedSweep %d allocs/op exceeds EngineUncachedSweep %d: the cache allocates on the hot path",
 			cached.AllocsPerOp, uncached.AllocsPerOp))
+	}
+	return out
+}
+
+// CheckServingBudget enforces the serving data plane's standing
+// allocation budget: CampaignThroughput allocs/op at or under
+// maxCampaignAllocs. Unlike Compare this is absolute, not relative to a
+// baseline — small per-PR creep can pass a 1%+1 gate every time yet
+// compound; the budget is the line that cannot be crossed by
+// accumulation. Returns violation descriptions; empty when the gate
+// passes, the benchmark is absent (a partial -bench run can't judge),
+// or the budget is 0 (disabled).
+func CheckServingBudget(e Entry, maxCampaignAllocs int64) []string {
+	if maxCampaignAllocs <= 0 {
+		return nil
+	}
+	var out []string
+	if m, ok := e.Benchmarks["CampaignThroughput"]; ok && m.AllocsPerOp > maxCampaignAllocs {
+		out = append(out, fmt.Sprintf(
+			"CampaignThroughput %d allocs/op exceeds the serving budget %d: per-result allocation is back on the stream path",
+			m.AllocsPerOp, maxCampaignAllocs))
 	}
 	return out
 }

@@ -113,3 +113,25 @@ func TestTrajectoryRoundTrip(t *testing.T) {
 		t.Fatalf("round trip mismatch: %+v", got)
 	}
 }
+
+func TestCheckServingBudget(t *testing.T) {
+	entry := func(allocs int64) Entry {
+		return Entry{Benchmarks: map[string]Measurement{
+			"CampaignThroughput": {NsPerOp: 1e7, AllocsPerOp: allocs},
+		}}
+	}
+	if v := CheckServingBudget(entry(90000), 90000); len(v) != 0 {
+		t.Errorf("at-budget entry flagged: %v", v)
+	}
+	if v := CheckServingBudget(entry(90001), 90000); len(v) != 1 {
+		t.Errorf("over-budget entry not flagged: %v", v)
+	}
+	// 0 disables the gate entirely.
+	if v := CheckServingBudget(entry(1<<40), 0); len(v) != 0 {
+		t.Errorf("disabled gate still flagged: %v", v)
+	}
+	// A partial -bench run without the benchmark can't judge.
+	if v := CheckServingBudget(Entry{Benchmarks: map[string]Measurement{}}, 90000); len(v) != 0 {
+		t.Errorf("absent benchmark flagged: %v", v)
+	}
+}

@@ -95,6 +95,72 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
+// Reset reinitialises s to an empty set of capacity n, reusing the
+// backing array whenever it already has room. It is the allocation-free
+// counterpart of New for scratch sets that live across problems of
+// varying size (the clique solver's per-depth candidate sets).
+func (s *Set) Reset(n int) {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	nw := (n + wordBits - 1) / wordBits
+	if cap(s.words) < nw {
+		s.words = make([]uint64, nw)
+	} else {
+		s.words = s.words[:nw]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
+}
+
+// CopyFrom makes s an element-for-element copy of o, adopting o's
+// capacity and reusing s's backing array whenever it has room: the
+// allocation-free counterpart of Clone.
+func (s *Set) CopyFrom(o *Set) {
+	nw := len(o.words)
+	if cap(s.words) < nw {
+		s.words = make([]uint64, nw)
+	} else {
+		s.words = s.words[:nw]
+	}
+	copy(s.words, o.words)
+	s.n = o.n
+}
+
+// Fill adds every index of the universe [0, Len) to the set.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if extra := len(s.words)*wordBits - s.n; extra > 0 {
+		s.words[len(s.words)-1] >>= uint(extra)
+	}
+}
+
+// Slab returns count independent empty sets of capacity n carved from
+// two shared allocations (one header array, one backing word array).
+// Families of per-node sets — reachability, parallelism — cost 2n+1
+// allocations when built with New; a slab costs 3 regardless of count.
+func Slab(count, n int) []*Set {
+	if count < 0 {
+		panic("bitset: negative count")
+	}
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	nw := (n + wordBits - 1) / wordBits
+	words := make([]uint64, count*nw)
+	hdrs := make([]Set, count)
+	out := make([]*Set, count)
+	for i := range hdrs {
+		hdrs[i] = Set{words: words[i*nw : (i+1)*nw : (i+1)*nw], n: n}
+		out[i] = &hdrs[i]
+	}
+	return out
+}
+
 // Clear removes all elements, keeping the capacity.
 func (s *Set) Clear() {
 	for i := range s.words {

@@ -302,3 +302,93 @@ func BenchmarkIntersectWith(b *testing.B) {
 		x.UnionWith(y)
 	}
 }
+
+func TestResetReusesAndClears(t *testing.T) {
+	s := New(128)
+	s.Add(0)
+	s.Add(127)
+	s.Reset(100)
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	if !s.Empty() {
+		t.Fatalf("set not empty after Reset: %v", s)
+	}
+	// Growing past the original capacity must also yield an empty set.
+	s.Add(99)
+	s.Reset(300)
+	if s.Len() != 300 || !s.Empty() {
+		t.Fatalf("after growing Reset: Len=%d empty=%v", s.Len(), s.Empty())
+	}
+	s.Add(299)
+	if !s.Contains(299) {
+		t.Fatal("Add after Reset lost")
+	}
+}
+
+func TestResetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset(-1) did not panic")
+		}
+	}()
+	New(4).Reset(-1)
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := FromIndices(130, 0, 64, 129)
+	dst := New(2)
+	dst.Add(1)
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatalf("CopyFrom: got %v, want %v", dst, src)
+	}
+	// Must be an independent copy.
+	dst.Remove(64)
+	if !src.Contains(64) {
+		t.Fatal("CopyFrom aliased the source")
+	}
+	// Shrinking copy into a larger destination must drop stale words.
+	small := FromIndices(3, 2)
+	dst.CopyFrom(small)
+	if !dst.Equal(small) {
+		t.Fatalf("shrinking CopyFrom: got %v, want %v", dst, small)
+	}
+}
+
+func TestFill(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Fatalf("n=%d: Count after Fill = %d", n, s.Count())
+		}
+		if n > 0 && (!s.Contains(0) || !s.Contains(n-1)) {
+			t.Fatalf("n=%d: endpoints missing after Fill", n)
+		}
+	}
+}
+
+func TestSlabIndependence(t *testing.T) {
+	sets := Slab(4, 70)
+	if len(sets) != 4 {
+		t.Fatalf("Slab returned %d sets", len(sets))
+	}
+	for i, s := range sets {
+		if s.Len() != 70 || !s.Empty() {
+			t.Fatalf("set %d: Len=%d empty=%v", i, s.Len(), s.Empty())
+		}
+	}
+	// Mutations must not leak between neighbours.
+	sets[1].Fill()
+	if !sets[0].Empty() || !sets[2].Empty() {
+		t.Fatal("Fill on slab set leaked into a neighbour")
+	}
+	sets[2].Add(69)
+	if sets[3].Contains(69) {
+		t.Fatal("Add on slab set leaked into a neighbour")
+	}
+	if Slab(0, 10) == nil {
+		t.Fatal("Slab(0, n) should return an empty non-nil slice")
+	}
+}

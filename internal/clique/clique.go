@@ -10,13 +10,57 @@
 // effectively instantaneous; it is nevertheless exact for any input and
 // is cross-checked against both brute force and the paper-faithful ILP
 // encoding in tests.
+//
+// All scratch state — candidate sets per search depth, the reordered
+// problem, twin-reduction buffers — lives on a reusable Solver, so a
+// campaign computing millions of µ tables allocates nothing in steady
+// state. The package-level MaxWeightKSet and MuTable draw Solvers from a
+// shared pool; MuTable additionally performs the twin reduction and the
+// weight reordering once and reuses them for every c.
 package clique
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/bitset"
 )
+
+// Solver carries the reusable scratch of the branch-and-bound. The zero
+// value is ready to use; a Solver may be reused for any sequence of
+// problems (its buffers grow to the largest instance seen) but is not
+// safe for concurrent use.
+type Solver struct {
+	// Problem after twin reduction and weight reordering: vertex idx has
+	// weight w[idx] (non-increasing), compatibility nadj[idx], and
+	// corresponds to original vertex orig[idx].
+	n    int
+	w    []int64
+	nadj []*bitset.Set
+	orig []int
+
+	// Branch-and-bound state.
+	k       int
+	bestW   int64
+	record  bool
+	picked  []int
+	bestSet []int
+
+	// Per-depth candidate scratch (depth d uses rest[d] and sub[d]).
+	rest, sub []*bitset.Set
+	universe  *bitset.Set
+
+	// Setup scratch: vertex ordering and twin-reduction ping-pong
+	// buffers (reductions can cascade, so consecutive rounds alternate
+	// between the two buffer groups).
+	order, pos, keep []int
+	claimed          []bool
+	rw               [2][]int64
+	radj             [2][]*bitset.Set
+	rorig            [2][]int
+}
+
+var solverPool = sync.Pool{New: func() any { return new(Solver) }}
 
 // MaxWeightKSet returns the maximum total weight of a set of exactly k
 // vertices that are pairwise adjacent in the compatibility relation adj,
@@ -27,6 +71,24 @@ import (
 // compatible with v and must be symmetric and irreflexive (as produced by
 // dag.(*Graph).Parallel).
 func MaxWeightKSet(weights []int64, adj []*bitset.Set, k int) (int64, []int) {
+	s := solverPool.Get().(*Solver)
+	v, set := s.MaxWeightKSet(weights, adj, k)
+	solverPool.Put(s)
+	return v, set
+}
+
+// MuTable returns µ[c] for c = 1..m (index c-1): the worst-case workload
+// of the c heaviest pairwise-parallel nodes, or 0 when fewer than c nodes
+// can run in parallel (Equation (6) and Table I of the paper).
+func MuTable(weights []int64, adj []*bitset.Set, m int) []int64 {
+	s := solverPool.Get().(*Solver)
+	mu := s.MuTable(weights, adj, m)
+	solverPool.Put(s)
+	return mu
+}
+
+// MaxWeightKSet is the Solver form of the package-level function.
+func (s *Solver) MaxWeightKSet(weights []int64, adj []*bitset.Set, k int) (int64, []int) {
 	n := len(weights)
 	if k <= 0 || k > n {
 		return 0, nil
@@ -41,151 +103,145 @@ func MaxWeightKSet(weights []int64, adj []*bitset.Set, k int) (int64, []int) {
 		}
 		return best, []int{arg}
 	}
+	s.setup(weights, adj)
+	v, ok := s.search(k, true)
+	if !ok {
+		return 0, nil
+	}
+	out := make([]int, len(s.bestSet))
+	for i, idx := range s.bestSet {
+		out[i] = s.orig[idx]
+	}
+	sort.Ints(out)
+	return v, out
+}
 
+// MuTable is the Solver form of the package-level function: the twin
+// reduction and the weight reordering are shared across all c (they do
+// not depend on the set size), so the table costs one setup plus m
+// searches.
+func (s *Solver) MuTable(weights []int64, adj []*bitset.Set, m int) []int64 {
+	mu := make([]int64, m)
+	if m < 1 || len(weights) == 0 {
+		return mu
+	}
+	best := weights[0]
+	for _, w := range weights[1:] {
+		if w > best {
+			best = w
+		}
+	}
+	mu[0] = best
+	if m == 1 || len(weights) == 1 {
+		return mu
+	}
+	s.setup(weights, adj)
+	for c := 2; c <= m && c <= s.n; c++ {
+		v, ok := s.search(c, false)
+		if !ok {
+			// No c-clique exists; larger cliques cannot exist either.
+			break
+		}
+		mu[c-1] = v
+	}
+	return mu
+}
+
+// setup prepares the reduced, reordered problem in the solver's scratch:
+// twin reduction to a fixed point, then a stable non-increasing weight
+// order so that candidate prefix sums give a tight admissible bound and
+// heavy vertices are branched on first.
+func (s *Solver) setup(weights []int64, adj []*bitset.Set) {
 	// Twin reduction: vertices with identical adjacency sets are
 	// necessarily non-adjacent to each other (v ∉ adj[v] = adj[u]), so
 	// no valid set contains two of them, and they are interchangeable
 	// with respect to every other vertex — only the heaviest of each
-	// class can appear in an optimum. Node-split graphs (ppp.SplitNodes,
-	// the npr-fine campaign family) turn every node into a chain of such
-	// twins, so without this the branch-and-bound faces hundreds of
-	// vertices at large c; with it the problem shrinks back to the
-	// original node count. The recursion re-reduces until a fixed point
-	// (dropping twins can equalise further adjacency sets).
-	if keep := twinReduce(weights, adj); len(keep) < n {
-		inv := make([]int, n)
-		for i := range inv {
+	// class can appear in an optimum (for any k). Node-split graphs
+	// (ppp.SplitNodes, the npr-fine campaign family) turn every node
+	// into a chain of such twins, so without this the branch-and-bound
+	// faces hundreds of vertices at large c; with it the problem shrinks
+	// back to the original node count. Reduction repeats until a fixed
+	// point (dropping twins can equalise further adjacency sets).
+	cw, cadj := weights, adj
+	var corig []int // nil = identity
+	for flip := 0; ; flip ^= 1 {
+		keep := s.twinReduce(cw, cadj)
+		if len(keep) == len(cw) {
+			break
+		}
+		s.pos = grow(s.pos, len(cw))
+		inv := s.pos // reuse; rebuilt by the ordering pass below
+		for i := range cw {
 			inv[i] = -1
 		}
-		rw := make([]int64, len(keep))
+		rw := growInt64(s.rw[flip], len(keep))
+		rorig := grow(s.rorig[flip], len(keep))
 		for i, v := range keep {
 			inv[v] = i
-			rw[i] = weights[v]
+			rw[i] = cw[v]
+			if corig == nil {
+				rorig[i] = v
+			} else {
+				rorig[i] = corig[v]
+			}
 		}
-		radj := make([]*bitset.Set, len(keep))
+		radj := growSets(&s.radj[flip], len(keep))
 		for i, v := range keep {
-			s := bitset.New(len(keep))
-			adj[v].ForEach(func(u int) bool {
+			t := radj[i]
+			t.Reset(len(keep))
+			cadj[v].ForEach(func(u int) bool {
 				if inv[u] >= 0 {
-					s.Add(inv[u])
+					t.Add(inv[u])
 				}
 				return true
 			})
-			radj[i] = s
 		}
-		wgt, set := MaxWeightKSet(rw, radj, k)
-		if set == nil {
-			return 0, nil
-		}
-		out := make([]int, len(set))
-		for i, idx := range set {
-			out[i] = keep[idx]
-		}
-		sort.Ints(out)
-		return wgt, out
+		s.rw[flip], s.rorig[flip] = rw, rorig
+		cw, cadj, corig = rw, radj, rorig
 	}
 
-	// Reorder vertices by non-increasing weight so that the candidate
-	// prefix sums give a tight admissible bound and heavy vertices are
-	// branched on first.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	n := len(cw)
+	s.n = n
+	s.order = grow(s.order, n)
+	for i := range s.order {
+		s.order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
-	pos := make([]int, n) // original vertex -> new index
-	for idx, v := range order {
-		pos[v] = idx
+	sort.SliceStable(s.order, func(a, b int) bool { return cw[s.order[a]] > cw[s.order[b]] })
+	s.pos = grow(s.pos, n) // current vertex -> search index
+	for idx, v := range s.order {
+		s.pos[v] = idx
 	}
-	w := make([]int64, n)
-	nadj := make([]*bitset.Set, n)
-	for idx, v := range order {
-		w[idx] = weights[v]
-		s := bitset.New(n)
-		adj[v].ForEach(func(u int) bool {
-			s.Add(pos[u])
+	s.w = growInt64(s.w, n)
+	s.orig = grow(s.orig, n)
+	nadj := growSets(&s.nadj, n)
+	for idx, v := range s.order {
+		s.w[idx] = cw[v]
+		if corig == nil {
+			s.orig[idx] = v
+		} else {
+			s.orig[idx] = corig[v]
+		}
+		t := nadj[idx]
+		t.Reset(n)
+		cadj[v].ForEach(func(u int) bool {
+			t.Add(s.pos[u])
 			return true
 		})
-		nadj[idx] = s
 	}
-
-	var (
-		bestW    int64 = -1
-		bestSet  []int
-		picked   = make([]int, 0, k)
-		universe = bitset.New(n)
-	)
-	for i := 0; i < n; i++ {
-		universe.Add(i)
-	}
-
-	// bound returns an upper bound on the weight obtainable by adding
-	// `need` more vertices from cand: the sum of the `need` heaviest
-	// candidates (admissible since weights are sorted descending).
-	bound := func(cand *bitset.Set, need int) int64 {
-		var s int64
-		cnt := 0
-		cand.ForEach(func(v int) bool {
-			s += w[v]
-			cnt++
-			return cnt < need
-		})
-		if cnt < need {
-			return -1 // not enough candidates at all
-		}
-		return s
-	}
-
-	// rec explores candidate vertices in ascending index (= descending
-	// weight). Each vertex is either picked (recursing into its adjacency
-	// restriction) or removed for the remainder of the subtree, which
-	// makes the enumeration canonical.
-	var rec func(cand *bitset.Set, cur int64)
-	rec = func(cand *bitset.Set, cur int64) {
-		need := k - len(picked)
-		if need == 0 {
-			if cur > bestW {
-				bestW = cur
-				bestSet = append([]int(nil), picked...)
-			}
-			return
-		}
-		rest := cand.Clone()
-		for v := rest.Next(0); v != -1; v = rest.Next(v + 1) {
-			rest.Remove(v)
-			sub := rest.Clone()
-			sub.IntersectWith(nadj[v])
-			picked = append(picked, v)
-			if b := bound(sub, need-1); b >= 0 && cur+w[v]+b > bestW {
-				rec(sub, cur+w[v])
-			}
-			picked = picked[:len(picked)-1]
-			// If even the `need` heaviest vertices still available cannot
-			// beat the incumbent, no later branch of this loop can either.
-			if b := bound(rest, need); b < 0 || cur+b <= bestW {
-				break
-			}
-		}
-	}
-	rec(universe, 0)
-
-	if bestW < 0 {
-		return 0, nil
-	}
-	out := make([]int, len(bestSet))
-	for i, idx := range bestSet {
-		out[i] = order[idx]
-	}
-	sort.Ints(out)
-	return bestW, out
+	s.w, s.orig = s.w[:n], s.orig[:n]
 }
 
 // twinReduce partitions vertices into classes of identical adjacency
-// sets and returns the heaviest member of each class, ascending.
-func twinReduce(weights []int64, adj []*bitset.Set) []int {
+// sets and returns the heaviest member of each class, ascending. The
+// returned slice is solver scratch, valid until the next call.
+func (s *Solver) twinReduce(weights []int64, adj []*bitset.Set) []int {
 	n := len(weights)
-	claimed := make([]bool, n)
-	keep := make([]int, 0, n)
+	s.claimed = growBool(s.claimed, n)
+	claimed := s.claimed
+	for i := range claimed {
+		claimed[i] = false
+	}
+	s.keep = s.keep[:0]
 	for v := 0; v < n; v++ {
 		if claimed[v] {
 			continue
@@ -200,23 +256,116 @@ func twinReduce(weights []int64, adj []*bitset.Set) []int {
 				best = u
 			}
 		}
-		keep = append(keep, best)
+		s.keep = append(s.keep, best)
 	}
-	return keep
+	return s.keep
 }
 
-// MuTable returns µ[c] for c = 1..m (index c-1): the worst-case workload
-// of the c heaviest pairwise-parallel nodes, or 0 when fewer than c nodes
-// can run in parallel (Equation (6) and Table I of the paper).
-func MuTable(weights []int64, adj []*bitset.Set, m int) []int64 {
-	mu := make([]int64, m)
-	for c := 1; c <= m; c++ {
-		v, set := MaxWeightKSet(weights, adj, c)
-		if set == nil {
-			// No c-clique exists; larger cliques cannot exist either.
+// search runs the branch-and-bound for set size k on the prepared
+// problem, returning the best weight and whether any k-set exists. With
+// record it also leaves one optimal set (as search indices) in bestSet.
+func (s *Solver) search(k int, record bool) (int64, bool) {
+	if k > s.n {
+		return 0, false
+	}
+	s.k, s.record, s.bestW = k, record, -1
+	s.picked = s.picked[:0]
+	for len(s.rest) < k {
+		s.rest = append(s.rest, new(bitset.Set))
+		s.sub = append(s.sub, new(bitset.Set))
+	}
+	if s.universe == nil {
+		s.universe = new(bitset.Set)
+	}
+	s.universe.Reset(s.n)
+	s.universe.Fill()
+	s.rec(s.universe, 0, 0)
+	if s.bestW < 0 {
+		return 0, false
+	}
+	return s.bestW, true
+}
+
+// bound returns an upper bound on the weight obtainable by adding `need`
+// more vertices from cand: the sum of the `need` heaviest candidates
+// (admissible since weights are sorted descending).
+func (s *Solver) bound(cand *bitset.Set, need int) int64 {
+	var sum int64
+	cnt := 0
+	cand.ForEach(func(v int) bool {
+		sum += s.w[v]
+		cnt++
+		return cnt < need
+	})
+	if cnt < need {
+		return -1 // not enough candidates at all
+	}
+	return sum
+}
+
+// rec explores candidate vertices in ascending index (= descending
+// weight). Each vertex is either picked (recursing into its adjacency
+// restriction) or removed for the remainder of the subtree, which makes
+// the enumeration canonical. Depth d borrows the d-th scratch pair, so
+// the whole search reuses 2k sets however many nodes it visits.
+func (s *Solver) rec(cand *bitset.Set, cur int64, depth int) {
+	need := s.k - len(s.picked)
+	if need == 0 {
+		if cur > s.bestW {
+			s.bestW = cur
+			if s.record {
+				s.bestSet = append(s.bestSet[:0], s.picked...)
+			}
+		}
+		return
+	}
+	rest := s.rest[depth]
+	rest.CopyFrom(cand)
+	for v := rest.Next(0); v != -1; v = rest.Next(v + 1) {
+		rest.Remove(v)
+		sub := s.sub[depth]
+		sub.CopyFrom(rest)
+		sub.IntersectWith(s.nadj[v])
+		s.picked = append(s.picked, v)
+		if b := s.bound(sub, need-1); b >= 0 && cur+s.w[v]+b > s.bestW {
+			s.rec(sub, cur+s.w[v], depth+1)
+		}
+		s.picked = s.picked[:len(s.picked)-1]
+		// If even the `need` heaviest vertices still available cannot
+		// beat the incumbent, no later branch of this loop can either.
+		if b := s.bound(rest, need); b < 0 || cur+b <= s.bestW {
 			break
 		}
-		mu[c-1] = v
 	}
-	return mu
+}
+
+// grow returns buf resized to n, reallocating only when capacity lacks.
+func grow(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growInt64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}
+
+func growBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+// growSets ensures *sets holds at least n reusable bitsets and returns
+// the first n.
+func growSets(sets *[]*bitset.Set, n int) []*bitset.Set {
+	for len(*sets) < n {
+		*sets = append(*sets, new(bitset.Set))
+	}
+	return (*sets)[:n]
 }

@@ -346,3 +346,45 @@ func TestTwinHeavyLargeInstanceFast(t *testing.T) {
 		t.Fatalf("twin-heavy instance took %v; reduction regressed", d)
 	}
 }
+
+// TestSolverReuse drives one Solver through a mixed sequence of problems
+// of varying size and checks every answer against brute force: stale
+// scratch from a larger instance must never bleed into a smaller one.
+func TestSolverReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var s Solver
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(12)
+		w, adj := randomInstance(rng, n)
+		k := 1 + rng.Intn(n)
+		gotW, gotSet := s.MaxWeightKSet(w, adj, k)
+		wantW := bruteKSet(w, adj, k)
+		if gotW != wantW {
+			t.Fatalf("iter %d (n=%d k=%d): reused solver weight %d, want %d", iter, n, k, gotW, wantW)
+		}
+		if gotSet != nil {
+			if len(gotSet) != k {
+				t.Fatalf("iter %d: set %v has %d vertices, want %d", iter, gotSet, len(gotSet), k)
+			}
+			var sum int64
+			for i, a := range gotSet {
+				sum += w[a]
+				for _, b := range gotSet[i+1:] {
+					if !adj[a].Contains(b) {
+						t.Fatalf("iter %d: set %v is not pairwise parallel", iter, gotSet)
+					}
+				}
+			}
+			if sum != gotW {
+				t.Fatalf("iter %d: set %v sums to %d, reported %d", iter, gotSet, sum, gotW)
+			}
+		}
+		m := 1 + rng.Intn(4)
+		gotMu := s.MuTable(w, adj, m)
+		for c := 1; c <= m; c++ {
+			if want := bruteKSet(w, adj, c); gotMu[c-1] != want {
+				t.Fatalf("iter %d: reused solver mu[%d]=%d, want %d", iter, c, gotMu[c-1], want)
+			}
+		}
+	}
+}

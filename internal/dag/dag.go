@@ -337,10 +337,7 @@ func (g *Graph) CriticalPath() []int {
 func (g *Graph) Reach() []*bitset.Set {
 	g.reachOnce.Do(func() {
 		n := g.N()
-		out := make([]*bitset.Set, n)
-		for v := 0; v < n; v++ {
-			out[v] = bitset.New(n)
-		}
+		out := bitset.Slab(n, n)
 		// Reverse topological order: successors' reach is complete first.
 		for i := n - 1; i >= 0; i-- {
 			v := g.topo[i]
@@ -358,10 +355,7 @@ func (g *Graph) Reach() []*bitset.Set {
 // v is reachable (v itself excluded).
 func (g *Graph) CoReach() []*bitset.Set {
 	n := g.N()
-	out := make([]*bitset.Set, n)
-	for v := 0; v < n; v++ {
-		out[v] = bitset.New(n)
-	}
+	out := bitset.Slab(n, n)
 	for _, v := range g.topo {
 		for _, u := range g.pred[v] {
 			out[v].Add(u)
@@ -376,10 +370,7 @@ func (g *Graph) CoReach() []*bitset.Set {
 // of the three inputs of Algorithm 1.
 func (g *Graph) Siblings() []*bitset.Set {
 	n := g.N()
-	out := make([]*bitset.Set, n)
-	for v := 0; v < n; v++ {
-		out[v] = bitset.New(n)
-	}
+	out := bitset.Slab(n, n)
 	for u := 0; u < n; u++ {
 		children := g.succ[u]
 		for _, a := range children {
@@ -403,15 +394,14 @@ func (g *Graph) Parallel() []*bitset.Set {
 	g.parOnce.Do(func() {
 		n := g.N()
 		succ := g.Reach()
-		out := make([]*bitset.Set, n)
+		out := bitset.Slab(n, n)
 		for v := 0; v < n; v++ {
-			s := bitset.New(n)
+			s := out[v]
 			for u := 0; u < n; u++ {
 				if u != v && !succ[v].Contains(u) && !succ[u].Contains(v) {
 					s.Add(u)
 				}
 			}
-			out[v] = s
 		}
 		g.par = out
 	})
@@ -432,10 +422,7 @@ func (g *Graph) Algorithm1Parallel() []*bitset.Set {
 	succ := g.Reach()
 	pred := g.CoReach()
 	sib := g.Siblings()
-	par := make([]*bitset.Set, n)
-	for v := 0; v < n; v++ {
-		par[v] = bitset.New(n)
-	}
+	par := bitset.Slab(n, n)
 	// First loop (lines 2-10): unconnected siblings and their successors.
 	for vj := 0; vj < n; vj++ {
 		sib[vj].ForEach(func(vl int) bool {

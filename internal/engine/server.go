@@ -13,13 +13,21 @@ package engine
 // of concurrently served requests at MaxInFlight (excess requests get
 // 503, the caller's signal to back off — the engine's own queue already
 // provides backpressure per job).
+//
+// /v1/analyze and the session endpoints also speak a compact
+// length-prefixed binary response framing (see internal/wire and
+// server_bin.go), negotiated with "Accept: application/x-lpdag-bin".
+// Error responses stay JSON regardless, so failure handling is
+// codec-independent.
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -27,6 +35,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // ServerConfig parameterises the HTTP handler.
@@ -84,13 +93,14 @@ const (
 // scheduling here) and shard-load gauges fed by the /v1/shard handler
 // (internal/experiments/cluster).
 type Server struct {
-	eng      *Engine
-	cfg      ServerConfig
-	sessions *SessionRegistry
-	inFlight chan struct{}
-	requests uint64 // HTTP requests admitted (atomic)
-	shed     uint64 // requests refused by the in-flight semaphore (atomic)
-	start    time.Time
+	eng       *Engine
+	cfg       ServerConfig
+	sessions  *SessionRegistry
+	inFlight  chan struct{}
+	requests  uint64 // HTTP requests admitted (atomic)
+	shed      uint64 // requests refused by the in-flight semaphore (atomic)
+	writeErrs uint64 // response encode/write failures (atomic)
+	start     time.Time
 
 	draining     atomic.Bool
 	activeShards atomic.Int64
@@ -139,6 +149,9 @@ func NewServer(e *Engine, cfg ServerConfig) *Server {
 		reg.CounterFunc("lpdag_http_requests_shed_total",
 			"Requests refused with 503 by the in-flight semaphore.",
 			func() float64 { return float64(atomic.LoadUint64(&s.shed)) })
+		reg.CounterFunc("lpdag_http_write_errors_total",
+			"Responses lost to encode or mid-body write failures.",
+			func() float64 { return float64(atomic.LoadUint64(&s.writeErrs)) })
 		reg.GaugeFunc("lpdag_server_draining",
 			"1 while SIGTERM drain is in progress, else 0.",
 			func() float64 {
@@ -194,7 +207,7 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 			defer func() { <-s.inFlight }()
 		default:
 			atomic.AddUint64(&s.shed, 1)
-			writeError(w, http.StatusServiceUnavailable, "server at capacity, retry later")
+			s.writeError(w, http.StatusServiceUnavailable, "server at capacity, retry later")
 			return
 		}
 		atomic.AddUint64(&s.requests, 1)
@@ -203,31 +216,62 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+// respBufPool holds the response-encode buffers shared by every
+// endpoint: one buffer serves a whole response (JSON document or binary
+// frame sequence), so the encode layer allocates O(1) per request in
+// steady state.
+var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeJSON encodes v (indented, as this API has always rendered JSON)
+// into a pooled buffer and writes it in one shot. A failure here has no
+// in-band signal left — the status line is already committed — so it is
+// counted in lpdag_http_write_errors_total rather than dropped: a
+// broken-pipe storm (load balancer timeouts, dying clients) becomes
+// diagnosable from /metrics.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := respBufPool.Get().(*bytes.Buffer)
+	defer respBufPool.Put(buf)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(v) // nothing useful to do with a write error mid-body
+	if err := enc.Encode(v); err != nil {
+		// Encode failed before any byte reached the wire, so a clean
+		// error status is still possible (and still counts: the caller
+		// lost a response either way).
+		atomic.AddUint64(&s.writeErrs, 1)
+		http.Error(w, fmt.Sprintf("response encoding failed: %v", err), http.StatusInternalServerError)
+		return
+	}
+	s.writeBody(w, status, "application/json", buf.Bytes())
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// writeBody sends one fully encoded response body, counting write
+// failures in lpdag_http_write_errors_total.
+func (s *Server) writeBody(w http.ResponseWriter, status int, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(status)
+	if _, err := w.Write(body); err != nil {
+		atomic.AddUint64(&s.writeErrs, 1)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 // decode parses the body into v, mapping oversized bodies to 413 and
 // malformed JSON to 400. It reports whether decoding succeeded.
-func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			s.writeError(w, http.StatusRequestEntityTooLarge,
 				"request body exceeds %d bytes", tooLarge.Limit)
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		s.writeError(w, http.StatusBadRequest, "invalid request: %v", err)
 		return false
 	}
 	return true
@@ -307,6 +351,11 @@ type taskReportJSON struct {
 	Iterations   int    `json:"iterations"`
 }
 
+// analyzeResponse is the POST /v1/analyze JSON response body.
+type analyzeResponse struct {
+	Results []analyzeResult `json:"results"`
+}
+
 // analyzeResult is one batch element's outcome; exactly one of Error or
 // the report fields is meaningful.
 type analyzeResult struct {
@@ -344,15 +393,15 @@ func reportJSON(rep *core.Report) analyzeResult {
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req analyzeRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if len(req.Requests) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch: requests must hold at least one task set")
+		s.writeError(w, http.StatusBadRequest, "empty batch: requests must hold at least one task set")
 		return
 	}
 	if len(req.Requests) > s.cfg.MaxBatch {
-		writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Requests), s.cfg.MaxBatch)
+		s.writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Requests), s.cfg.MaxBatch)
 		return
 	}
 	if req.Cores == 0 {
@@ -403,7 +452,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	reports, errs, err := s.eng.AnalyzeBatch(r.Context(), sets, specs)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "batch aborted: %v", err)
+		s.writeError(w, http.StatusServiceUnavailable, "batch aborted: %v", err)
 		return
 	}
 	for j, slot := range slots {
@@ -413,7 +462,19 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		results[slot] = reportJSON(reports[j])
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+	if binaryAccepted(r) {
+		st := binBufPool.Get().(*binBuf)
+		defer binBufPool.Put(st)
+		frames := st.frames[:0]
+		for _, res := range results {
+			st.payload = appendAnalyzeResultBin(st.payload[:0], res)
+			frames = wire.AppendFrame(frames, wire.FrameResult, st.payload)
+		}
+		st.frames = frames
+		s.writeBody(w, http.StatusOK, wire.ContentType, frames)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, analyzeResponse{Results: results})
 }
 
 // simulateRequest is the /v1/simulate body.
@@ -435,16 +496,16 @@ type simulateResponse struct {
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if len(req.TaskSet) == 0 {
-		writeError(w, http.StatusBadRequest, "missing taskset")
+		s.writeError(w, http.StatusBadRequest, "missing taskset")
 		return
 	}
 	ts := new(model.TaskSet)
 	if err := ts.UnmarshalJSON(req.TaskSet); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid taskset: %v", err)
+		s.writeError(w, http.StatusBadRequest, "invalid taskset: %v", err)
 		return
 	}
 	if req.Cores == 0 {
@@ -454,7 +515,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		req.Duration = 10000
 	}
 	if req.Duration > MaxSimDuration {
-		writeError(w, http.StatusBadRequest, "duration %d exceeds limit %d", req.Duration, MaxSimDuration)
+		s.writeError(w, http.StatusBadRequest, "duration %d exceeds limit %d", req.Duration, MaxSimDuration)
 		return
 	}
 	if req.MaxJobs <= 0 || req.MaxJobs > MaxSimJobs {
@@ -464,10 +525,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Cores: req.Cores, Duration: req.Duration, MaxJobs: req.MaxJobs,
 	})
 	if err != nil {
-		writeError(w, statusForJobError(err), "simulate: %v", err)
+		s.writeError(w, statusForJobError(err), "simulate: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, simulateResponse{
+	s.writeJSON(w, http.StatusOK, simulateResponse{
 		Jobs:        len(res.Jobs),
 		Misses:      res.Misses,
 		MaxResponse: res.MaxResponse,
@@ -488,7 +549,7 @@ type generateRequest struct {
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var req generateRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	var group gen.Group
@@ -498,25 +559,25 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	case "parallel":
 		group = gen.GroupParallel
 	default:
-		writeError(w, http.StatusBadRequest, "unknown group %q (want mixed | parallel)", req.Group)
+		s.writeError(w, http.StatusBadRequest, "unknown group %q (want mixed | parallel)", req.Group)
 		return
 	}
 	if req.Utilization <= 0 {
 		req.Utilization = 2
 	}
 	if req.Utilization > MaxGenUtilization {
-		writeError(w, http.StatusBadRequest, "utilization %g exceeds limit %d", req.Utilization, MaxGenUtilization)
+		s.writeError(w, http.StatusBadRequest, "utilization %g exceeds limit %d", req.Utilization, MaxGenUtilization)
 		return
 	}
 	if req.Tasks > MaxGenTasks {
-		writeError(w, http.StatusBadRequest, "tasks %d exceeds limit %d", req.Tasks, MaxGenTasks)
+		s.writeError(w, http.StatusBadRequest, "tasks %d exceeds limit %d", req.Tasks, MaxGenTasks)
 		return
 	}
 	if req.Count <= 0 {
 		req.Count = 1
 	}
 	if req.Count > s.cfg.MaxBatch {
-		writeError(w, http.StatusBadRequest, "count %d exceeds limit %d", req.Count, s.cfg.MaxBatch)
+		s.writeError(w, http.StatusBadRequest, "count %d exceeds limit %d", req.Count, s.cfg.MaxBatch)
 		return
 	}
 	// Fan the generations out over the worker pool (each is
@@ -537,11 +598,11 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	})
 	for _, err := range errs {
 		if err != nil {
-			writeError(w, statusForJobError(err), "generate: %v", err)
+			s.writeError(w, statusForJobError(err), "generate: %v", err)
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"tasksets": sets})
+	s.writeJSON(w, http.StatusOK, map[string]any{"tasksets": sets})
 }
 
 // healthzResponse is the /healthz body. Status is "ok" while serving
@@ -571,10 +632,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.Draining() {
 		resp.Status = "draining"
-		writeJSON(w, http.StatusServiceUnavailable, resp)
+		s.writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // statsResponse augments the engine stats with server-level counters.
@@ -599,7 +660,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	writeJSON(w, http.StatusOK, statsResponse{
+	s.writeJSON(w, http.StatusOK, statsResponse{
 		Stats:          st,
 		HTTPRequests:   atomic.LoadUint64(&s.requests),
 		CacheHitRate:   st.Cache.HitRate(),

@@ -1,0 +1,321 @@
+package engine
+
+// Internal tests of the negotiated binary response codec and the
+// response-write failure counter (both need unexported plumbing).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+func binTestServer(t *testing.T) *Server {
+	t.Helper()
+	e := New(Config{})
+	t.Cleanup(e.Close)
+	return NewServer(e, ServerConfig{})
+}
+
+// binTestTaskSet is a small two-task set in the interchange format
+// (internal test file, so the facade's PaperExample is off limits —
+// importing repro here would be a cycle).
+const binTestTaskSet = `{"tasks":[
+	{"name":"a","wcet":[10],"edges":[],"deadline":100,"period":100},
+	{"name":"b","wcet":[20,5],"edges":[[0,1]],"deadline":150,"period":200}
+]}`
+
+func decodeBinFrames(t *testing.T, body io.Reader) [][]byte {
+	t.Helper()
+	r := wire.NewReader(body, 1<<20)
+	var frames [][]byte
+	for {
+		typ, payload, err := r.ReadFrame()
+		if err == io.EOF {
+			return frames
+		}
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if typ != wire.FrameResult {
+			t.Fatalf("unexpected frame type %c", typ)
+		}
+		frames = append(frames, append([]byte(nil), payload...))
+	}
+}
+
+// TestAnalyzeBinaryMatchesJSON posts the same batch with and without
+// the binary Accept header and requires the decoded binary results to
+// equal the JSON ones field for field.
+func TestAnalyzeBinaryMatchesJSON(t *testing.T) {
+	s := binTestServer(t)
+	body := fmt.Sprintf(`{"cores": 4, "requests": [
+		{"taskset": %s, "method": "lp-max"},
+		{"taskset": %s, "method": "no-such-method"},
+		{}
+	]}`, binTestTaskSet, binTestTaskSet)
+
+	jreq := httptest.NewRequest(http.MethodPost, "/v1/analyze", strings.NewReader(body))
+	jw := httptest.NewRecorder()
+	s.ServeHTTP(jw, jreq)
+	if jw.Code != http.StatusOK {
+		t.Fatalf("JSON status %d: %s", jw.Code, jw.Body)
+	}
+	var jresp analyzeResponse
+	if err := json.Unmarshal(jw.Body.Bytes(), &jresp); err != nil {
+		t.Fatal(err)
+	}
+
+	breq := httptest.NewRequest(http.MethodPost, "/v1/analyze", strings.NewReader(body))
+	breq.Header.Set("Accept", wire.ContentType)
+	bw := httptest.NewRecorder()
+	s.ServeHTTP(bw, breq)
+	if bw.Code != http.StatusOK {
+		t.Fatalf("binary status %d: %s", bw.Code, bw.Body)
+	}
+	if ct := bw.Header().Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, wire.ContentType)
+	}
+	frames := decodeBinFrames(t, bw.Body)
+	if len(frames) != len(jresp.Results) {
+		t.Fatalf("%d frames, want %d", len(frames), len(jresp.Results))
+	}
+	for i, payload := range frames {
+		d := wire.NewDec(payload)
+		got, err := decodeAnalyzeResultBin(d)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if d.Rest() != 0 {
+			t.Fatalf("frame %d: %d trailing bytes", i, d.Rest())
+		}
+		assertResultsEqual(t, i, got, jresp.Results[i])
+	}
+	if frames[1] != nil {
+		var r analyzeResult
+		d := wire.NewDec(frames[1])
+		r, _ = decodeAnalyzeResultBin(d)
+		if !strings.Contains(r.Error, "unknown method") {
+			t.Errorf("item 1 error = %q, want unknown method", r.Error)
+		}
+	}
+}
+
+func assertResultsEqual(t *testing.T, i int, got, want analyzeResult) {
+	t.Helper()
+	if got.Error != want.Error || got.Schedulable != want.Schedulable ||
+		got.Method != want.Method || got.Cores != want.Cores ||
+		got.Utilization != want.Utilization || len(got.Tasks) != len(want.Tasks) {
+		t.Fatalf("result %d drifted:\n got %+v\nwant %+v", i, got, want)
+	}
+	for j := range want.Tasks {
+		if got.Tasks[j] != want.Tasks[j] {
+			t.Fatalf("result %d task %d drifted:\n got %+v\nwant %+v", i, j, got.Tasks[j], want.Tasks[j])
+		}
+	}
+}
+
+// TestSessionBinaryEndpoints drives create/report/edits/admit with the
+// binary Accept header and checks each payload against a JSON control
+// request on a second identical session.
+func TestSessionBinaryEndpoints(t *testing.T) {
+	s := binTestServer(t)
+	createBody := fmt.Sprintf(`{"taskset": %s, "cores": 4, "method": "lp-max"}`, binTestTaskSet)
+
+	do := func(method, path, body, accept string) *httptest.ResponseRecorder {
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req := httptest.NewRequest(method, path, rd)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		return w
+	}
+
+	// Binary create: payload is session id + result.
+	w := do(http.MethodPost, "/v1/sessions", createBody, wire.ContentType)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("binary create status %d: %s", w.Code, w.Body)
+	}
+	frames := decodeBinFrames(t, w.Body)
+	if len(frames) != 1 {
+		t.Fatalf("create: %d frames, want 1", len(frames))
+	}
+	d := wire.NewDec(frames[0])
+	id := d.String(1 << 10)
+	created, err := decodeAnalyzeResultBin(d)
+	if err != nil || d.Rest() != 0 {
+		t.Fatalf("create payload: err=%v rest=%d", err, d.Rest())
+	}
+	if id == "" {
+		t.Fatal("create: empty session id")
+	}
+
+	// JSON control session with the same task set.
+	var jcreate struct {
+		ID     string        `json:"id"`
+		Report analyzeResult `json:"report"`
+	}
+	w = do(http.MethodPost, "/v1/sessions", createBody, "")
+	if w.Code != http.StatusCreated {
+		t.Fatalf("JSON create status %d: %s", w.Code, w.Body)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &jcreate); err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, 0, created, jcreate.Report)
+
+	// Binary report matches the create payload's report.
+	w = do(http.MethodGet, "/v1/sessions/"+id+"/report", "", wire.ContentType)
+	if w.Code != http.StatusOK {
+		t.Fatalf("binary report status %d: %s", w.Code, w.Body)
+	}
+	frames = decodeBinFrames(t, w.Body)
+	d = wire.NewDec(frames[0])
+	rep, err := decodeAnalyzeResultBin(d)
+	if err != nil || d.Rest() != 0 {
+		t.Fatalf("report payload: err=%v rest=%d", err, d.Rest())
+	}
+	assertResultsEqual(t, 0, rep, created)
+
+	// Binary admit: payload is admitted byte + result.
+	admitBody := `{"task": {"name":"c","wcet":[1],"edges":[],"deadline":1000,"period":1000}}`
+	w = do(http.MethodPost, "/v1/sessions/"+id+"/admit", admitBody, wire.ContentType)
+	if w.Code != http.StatusOK {
+		t.Fatalf("binary admit status %d: %s", w.Code, w.Body)
+	}
+	frames = decodeBinFrames(t, w.Body)
+	d = wire.NewDec(frames[0])
+	admitted := d.Byte() != 0
+	arep, err := decodeAnalyzeResultBin(d)
+	if err != nil || d.Rest() != 0 {
+		t.Fatalf("admit payload: err=%v rest=%d", err, d.Rest())
+	}
+	if admitted != arep.Schedulable {
+		t.Errorf("admitted=%v but report schedulable=%v", admitted, arep.Schedulable)
+	}
+
+	// Binary edits: payload is the post-edit report.
+	editsBody := `{"edits": [{"op": "set_cores", "cores": 8}]}`
+	w = do(http.MethodPost, "/v1/sessions/"+id+"/edits", editsBody, wire.ContentType)
+	if w.Code != http.StatusOK {
+		t.Fatalf("binary edits status %d: %s", w.Code, w.Body)
+	}
+	frames = decodeBinFrames(t, w.Body)
+	d = wire.NewDec(frames[0])
+	if _, err := decodeAnalyzeResultBin(d); err != nil || d.Rest() != 0 {
+		t.Fatalf("edits payload: err=%v rest=%d", err, d.Rest())
+	}
+
+	// Errors stay JSON even under the binary Accept header.
+	w = do(http.MethodGet, "/v1/sessions/no-such-id/report", "", wire.ContentType)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("missing session status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error Content-Type = %q, want application/json", ct)
+	}
+}
+
+// TestAnalyzeResultBinRoundTrip exercises the codec directly on edge
+// values, including ones JSON cannot distinguish (-0) or omits.
+func TestAnalyzeResultBinRoundTrip(t *testing.T) {
+	cases := []analyzeResult{
+		{},
+		{Error: "boom   <&> \"quoted\""},
+		{
+			Schedulable: true,
+			Method:      "lp-ilp",
+			Cores:       -3,
+			Utilization: math.Copysign(0, -1),
+			Tasks: []taskReportJSON{
+				{Name: "τ1", Schedulable: true, Analyzed: true, ResponseTime: math.MaxInt64,
+					Deadline: math.MinInt64, DeltaM: -1, DeltaM1: 1, Preemptions: 7, Iterations: 42},
+				{},
+			},
+		},
+	}
+	for i, want := range cases {
+		buf := appendAnalyzeResultBin(nil, want)
+		d := wire.NewDec(buf)
+		got, err := decodeAnalyzeResultBin(d)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if d.Rest() != 0 {
+			t.Fatalf("case %d: %d trailing bytes", i, d.Rest())
+		}
+		if math.Float64bits(got.Utilization) != math.Float64bits(want.Utilization) {
+			t.Fatalf("case %d: utilization bits drifted", i)
+		}
+		got.Utilization, want.Utilization = 0, 0
+		assertResultsEqual(t, i, got, want)
+	}
+
+	// Truncations surface as errors, never panics or silent zeros.
+	full := appendAnalyzeResultBin(nil, cases[2])
+	for cut := 0; cut < len(full); cut++ {
+		d := wire.NewDec(full[:cut])
+		if _, err := decodeAnalyzeResultBin(d); err == nil && d.Rest() == 0 {
+			t.Fatalf("cut=%d decoded cleanly", cut)
+		}
+	}
+}
+
+// failingWriter errors on the first body write, as a closed client
+// connection would.
+type failingWriter struct {
+	http.ResponseWriter
+}
+
+func (f failingWriter) Write([]byte) (int, error) { return 0, errors.New("client went away") }
+
+// TestWriteErrorsCounted pins the lpdag_http_write_errors_total
+// counter: both encode failures and mid-body write failures count.
+func TestWriteErrorsCounted(t *testing.T) {
+	e := New(Config{Obs: obs.NewRegistry()})
+	t.Cleanup(e.Close)
+	s := NewServer(e, ServerConfig{})
+	if n := atomic.LoadUint64(&s.writeErrs); n != 0 {
+		t.Fatalf("fresh server writeErrs = %d", n)
+	}
+
+	// Encode failure: channels are not JSON-serialisable.
+	w := httptest.NewRecorder()
+	s.writeJSON(w, http.StatusOK, make(chan int))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("encode failure status %d, want 500", w.Code)
+	}
+	if n := atomic.LoadUint64(&s.writeErrs); n != 1 {
+		t.Fatalf("writeErrs after encode failure = %d, want 1", n)
+	}
+
+	// Mid-body write failure.
+	s.writeJSON(failingWriter{httptest.NewRecorder()}, http.StatusOK, map[string]string{"ok": "yes"})
+	if n := atomic.LoadUint64(&s.writeErrs); n != 2 {
+		t.Fatalf("writeErrs after write failure = %d, want 2", n)
+	}
+
+	// The counter is exported on /metrics.
+	mw := httptest.NewRecorder()
+	s.ServeHTTP(mw, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if mw.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", mw.Code)
+	}
+	if !strings.Contains(mw.Body.String(), "lpdag_http_write_errors_total 2") {
+		t.Fatalf("/metrics missing lpdag_http_write_errors_total 2:\n%s", mw.Body)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/session"
+	"repro/internal/wire"
 )
 
 // createSessionRequest is the POST /v1/sessions body. The task set is
@@ -39,7 +40,7 @@ type createSessionRequest struct {
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var req createSessionRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if req.Cores == 0 {
@@ -48,25 +49,25 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	opts := core.Options{Cores: req.Cores, FinalNPRRefinement: req.FinalNPR}
 	var err error
 	if opts.Method, err = ParseMethod(req.Method); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if opts.Backend, err = ParseBackend(req.Backend); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	var tasks []*model.Task
 	if len(req.TaskSet) > 0 {
 		ts := new(model.TaskSet)
 		if err := ts.UnmarshalJSON(req.TaskSet); err != nil {
-			writeError(w, http.StatusBadRequest, "invalid taskset: %v", err)
+			s.writeError(w, http.StatusBadRequest, "invalid taskset: %v", err)
 			return
 		}
 		tasks = ts.Tasks
 	}
 	id, _, err := s.sessions.Create(opts, tasks...)
 	if err != nil {
-		writeError(w, statusForSessionError(err), "create session: %v", err)
+		s.writeError(w, statusForSessionError(err), "create session: %v", err)
 		return
 	}
 	// The initial analysis is the largest one a session ever pays (no
@@ -78,10 +79,17 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		})
 	if err != nil {
 		s.sessions.Delete(id)
-		writeError(w, statusForSessionError(err), "create session: %v", err)
+		s.writeError(w, statusForSessionError(err), "create session: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "report": reportJSON(v.(*core.Report))})
+	if binaryAccepted(r) {
+		s.writeFrame(w, http.StatusCreated, func(dst []byte) []byte {
+			dst = wire.AppendString(dst, id)
+			return appendAnalyzeResultBin(dst, reportJSON(v.(*core.Report)))
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, map[string]any{"id": id, "report": reportJSON(v.(*core.Report))})
 }
 
 func (s *Server) handleSessionReport(w http.ResponseWriter, r *http.Request) {
@@ -90,10 +98,16 @@ func (s *Server) handleSessionReport(w http.ResponseWriter, r *http.Request) {
 			return sess.Report(ctx)
 		})
 	if err != nil {
-		writeError(w, statusForSessionError(err), "session report: %v", err)
+		s.writeError(w, statusForSessionError(err), "session report: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"report": reportJSON(v.(*core.Report))})
+	if binaryAccepted(r) {
+		s.writeFrame(w, http.StatusOK, func(dst []byte) []byte {
+			return appendAnalyzeResultBin(dst, reportJSON(v.(*core.Report)))
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"report": reportJSON(v.(*core.Report))})
 }
 
 // sessionEditJSON is one element of the edits batch. Tasks may be
@@ -174,18 +188,18 @@ func decodeEdit(e sessionEditJSON) (session.Edit, error) {
 
 func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
 	var req sessionEditsRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if len(req.Edits) == 0 {
-		writeError(w, http.StatusBadRequest, "empty edit batch")
+		s.writeError(w, http.StatusBadRequest, "empty edit batch")
 		return
 	}
 	edits := make([]session.Edit, len(req.Edits))
 	for i, e := range req.Edits {
 		var err error
 		if edits[i], err = decodeEdit(e); err != nil {
-			writeError(w, http.StatusBadRequest, "edit %d: %v", i, err)
+			s.writeError(w, http.StatusBadRequest, "edit %d: %v", i, err)
 			return
 		}
 	}
@@ -206,10 +220,16 @@ func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
 			return rep, nil
 		})
 	if err != nil {
-		writeError(w, statusForSessionError(err), "session edits: %v", err)
+		s.writeError(w, statusForSessionError(err), "session edits: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"report": reportJSON(v.(*core.Report))})
+	if binaryAccepted(r) {
+		s.writeFrame(w, http.StatusOK, func(dst []byte) []byte {
+			return appendAnalyzeResultBin(dst, reportJSON(v.(*core.Report)))
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"report": reportJSON(v.(*core.Report))})
 }
 
 // sessionAdmitRequest is the POST /v1/sessions/{id}/admit body.
@@ -220,16 +240,16 @@ type sessionAdmitRequest struct {
 
 func (s *Server) handleSessionAdmit(w http.ResponseWriter, r *http.Request) {
 	var req sessionAdmitRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if len(req.Task) == 0 {
-		writeError(w, http.StatusBadRequest, "missing task")
+		s.writeError(w, http.StatusBadRequest, "missing task")
 		return
 	}
 	t := new(model.Task)
 	if err := t.UnmarshalJSON(req.Task); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid task: %v", err)
+		s.writeError(w, http.StatusBadRequest, "invalid task: %v", err)
 		return
 	}
 	at := -1
@@ -241,11 +261,18 @@ func (s *Server) handleSessionAdmit(w http.ResponseWriter, r *http.Request) {
 			return sess.TryAdmit(ctx, t, at)
 		})
 	if err != nil {
-		writeError(w, statusForSessionError(err), "session admit: %v", err)
+		s.writeError(w, statusForSessionError(err), "session admit: %v", err)
 		return
 	}
 	rep := v.(*core.Report)
-	writeJSON(w, http.StatusOK, map[string]any{
+	if binaryAccepted(r) {
+		s.writeFrame(w, http.StatusOK, func(dst []byte) []byte {
+			dst = appendBool(dst, rep.Schedulable)
+			return appendAnalyzeResultBin(dst, reportJSON(rep))
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"admitted": rep.Schedulable,
 		"report":   reportJSON(rep),
 	})
@@ -261,14 +288,14 @@ type sessionSensitivityRequest struct {
 
 func (s *Server) handleSessionSensitivity(w http.ResponseWriter, r *http.Request) {
 	var req sessionSensitivityRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if req.MaxPermille == 0 {
 		req.MaxPermille = 10_000
 	}
 	if req.Name == "" && req.Index == nil {
-		writeError(w, http.StatusBadRequest, "missing index or name")
+		s.writeError(w, http.StatusBadRequest, "missing index or name")
 		return
 	}
 	v, err := s.sessions.Do(r.Context(), r.PathValue("id"),
@@ -285,15 +312,15 @@ func (s *Server) handleSessionSensitivity(w http.ResponseWriter, r *http.Request
 			return sess.Sensitivity(ctx, i, req.MaxPermille)
 		})
 	if err != nil {
-		writeError(w, statusForSessionError(err), "session sensitivity: %v", err)
+		s.writeError(w, statusForSessionError(err), "session sensitivity: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"permille": v.(int)})
+	s.writeJSON(w, http.StatusOK, map[string]any{"permille": v.(int)})
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.sessions.Delete(r.PathValue("id")) {
-		writeError(w, http.StatusNotFound, "%v", ErrSessionNotFound)
+		s.writeError(w, http.StatusNotFound, "%v", ErrSessionNotFound)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

@@ -305,6 +305,11 @@ type RunOptions struct {
 	CSV io.Writer
 	// OnProgress, when non-nil, is called after every completed point.
 	OnProgress func(Progress)
+	// OnResult, when non-nil, receives every result in point-index order
+	// before the JSONL/CSV writers see it; a returned error latches like
+	// a stream write error and aborts emission. This is how the cluster
+	// worker streams binary result frames without re-encoding JSON.
+	OnResult func(PointResult) error
 	// Obs, when non-nil, publishes the same progress as the
 	// lpdag_campaign_* series (points planned/done, ETA, cumulative
 	// completed counter) so the run is watchable from /metrics.
@@ -426,6 +431,7 @@ func RunCampaign(cfg CampaignConfig, opts RunOptions) ([]PointResult, error) {
 		start   = time.Now()
 		emitter = NewStreamEmitter(opts.JSONL, opts.CSV, methodNames(ncfg.Methods))
 	)
+	emitter.OnResult(opts.OnResult)
 	emitFrontier := func() {
 		for next < len(points) && ready[next] {
 			emitter.Emit(results[next])
@@ -473,10 +479,13 @@ func RunCampaign(cfg CampaignConfig, opts RunOptions) ([]PointResult, error) {
 // emitting the CSV header lazily and latching the first write error.
 // Shared by RunCampaign, RunCampaignSubset, and the cluster coordinator
 // (internal/experiments/cluster), so local, worker, and merged cluster
-// byte streams all come from the same code path.
+// byte streams all come from the same code path. The encode scratch is
+// part of the emitter, so a whole campaign stream reuses one buffer.
 type StreamEmitter struct {
 	jsonl, csv io.Writer
 	names      []string
+	onResult   func(PointResult) error
+	enc        encState
 	csvOnce    bool
 	err        error
 }
@@ -487,13 +496,29 @@ func NewStreamEmitter(jsonl, csv io.Writer, names []string) *StreamEmitter {
 	return &StreamEmitter{jsonl: jsonl, csv: csv, names: names}
 }
 
+// OnResult registers a hook that receives every result in emission
+// order, before the writers; its error latches like a write error
+// (RunOptions.OnResult).
+func (e *StreamEmitter) OnResult(fn func(PointResult) error) { e.onResult = fn }
+
 // Emit writes one result; after the first write error it is a no-op.
 func (e *StreamEmitter) Emit(r PointResult) {
 	if e.err != nil {
 		return
 	}
+	if e.onResult != nil {
+		if err := e.onResult(r); err != nil {
+			e.err = err
+			return
+		}
+	}
 	if e.jsonl != nil {
-		if err := WritePointResult(e.jsonl, r); err != nil {
+		buf, err := e.enc.appendPointResult(e.enc.buf[:0], r)
+		e.enc.buf = buf
+		if err == nil {
+			_, err = e.jsonl.Write(buf)
+		}
+		if err != nil {
 			e.err = err
 			return
 		}
@@ -506,7 +531,8 @@ func (e *StreamEmitter) Emit(r PointResult) {
 			}
 			e.csvOnce = true
 		}
-		if _, err := io.WriteString(e.csv, campaignCSVRowNames(r, e.names)); err != nil {
+		e.enc.buf = appendCampaignCSVRow(e.enc.buf[:0], r, e.names)
+		if _, err := e.csv.Write(e.enc.buf); err != nil {
 			e.err = err
 		}
 	}
@@ -597,6 +623,7 @@ func RunCampaignSubset(cfg CampaignConfig, indices []int, opts RunOptions) ([]Po
 		firstErr error
 		emitter  = NewStreamEmitter(opts.JSONL, opts.CSV, methodNames(ncfg.Methods))
 	)
+	emitter.OnResult(opts.OnResult)
 	metrics := NewCampaignMetrics(opts.Obs)
 	metrics.Start(len(indices), 0)
 	for completed := 0; completed < len(indices); completed++ {

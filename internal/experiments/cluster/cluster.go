@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/wire"
 )
 
 // Coordinator defaults.
@@ -78,6 +79,12 @@ type Config struct {
 	// Set it to the smallest -max-shard-points across the cluster —
 	// the shard count is raised as needed so no lease exceeds it.
 	MaxLeasePoints int
+	// DisableBinary forces JSONL shard streams. By default the
+	// coordinator asks each worker for the binary frame codec
+	// (Accept: application/x-lpdag-bin) and falls back per response
+	// Content-Type, so mixed-version clusters work either way; the
+	// codec never affects the merged output bytes.
+	DisableBinary bool
 }
 
 // Run executes the campaign across the cluster and returns the
@@ -101,7 +108,7 @@ func Run(cfg Config, opts experiments.RunOptions) ([]experiments.PointResult, er
 	if cfg.WorkerFailLimit <= 0 {
 		cfg.WorkerFailLimit = DefaultWorkerFailLimit
 	}
-	wire, err := cfg.Campaign.WireRequest()
+	wreq, err := cfg.Campaign.WireRequest()
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +170,7 @@ func Run(cfg Config, opts experiments.RunOptions) ([]experiments.PointResult, er
 		}
 	}()
 
-	c := &coordinator{cfg: cfg, wire: wire, points: points, tracker: tracker,
+	c := &coordinator{cfg: cfg, wreq: wreq, points: points, tracker: tracker,
 		resultc: make(chan experiments.PointResult, 2*len(cfg.Workers))}
 	var wg sync.WaitGroup
 	for _, url := range cfg.Workers {
@@ -236,7 +243,7 @@ func Run(cfg Config, opts experiments.RunOptions) ([]experiments.PointResult, er
 // coordinator carries the per-run state shared by the worker loops.
 type coordinator struct {
 	cfg     Config
-	wire    experiments.CampaignRequest
+	wreq    experiments.CampaignRequest
 	points  []experiments.Point
 	tracker *Tracker
 	resultc chan experiments.PointResult
@@ -339,7 +346,7 @@ func (c *coordinator) checkHealth(ctx context.Context, url string) (draining boo
 // received silence longer than LeaseTimeout kills the request — the
 // worker heartbeats, so a live shard is never silent that long.
 func (c *coordinator) runShard(ctx context.Context, url string, lease Lease) error {
-	body, err := json.Marshal(ShardRequest{Campaign: c.wire, Points: lease.Points})
+	body, err := json.Marshal(ShardRequest{Campaign: c.wreq, Points: lease.Points})
 	if err != nil {
 		return err
 	}
@@ -353,6 +360,9 @@ func (c *coordinator) runShard(ctx context.Context, url string, lease Lease) err
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if !c.cfg.DisableBinary {
+		req.Header.Set("Accept", wire.ContentType+", application/x-ndjson")
+	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		return c.leaseErr(sctx, ctx, err)
@@ -364,6 +374,9 @@ func (c *coordinator) runShard(ctx context.Context, url string, lease Lease) err
 			return errDraining
 		}
 		return fmt.Errorf("shard request: status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if resp.Header.Get("Content-Type") == wire.ContentType {
+		return c.readBinaryShard(sctx, ctx, resp.Body, url, lease, watchdog)
 	}
 
 	sc := bufio.NewScanner(resp.Body)
@@ -402,6 +415,45 @@ func (c *coordinator) runShard(ctx context.Context, url string, lease Lease) err
 		return c.leaseErr(sctx, ctx, err)
 	}
 	return nil
+}
+
+// readBinaryShard consumes a binary shard stream: heartbeat frames feed
+// the watchdog, result frames decode and merge exactly like JSON lines
+// (same CheckResult and tracker validation), an error frame fails the
+// lease, and a clean EOF ends it.
+func (c *coordinator) readBinaryShard(sctx, ctx context.Context, body io.Reader, url string, lease Lease, watchdog *time.Timer) error {
+	fr := wire.NewReader(body, 16*1024*1024)
+	for {
+		typ, payload, err := fr.ReadFrame()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return c.leaseErr(sctx, ctx, fmt.Errorf("shard stream: %w", err))
+		}
+		watchdog.Reset(c.cfg.LeaseTimeout)
+		switch typ {
+		case wire.FrameHeartbeat:
+			continue
+		case wire.FrameError:
+			return fmt.Errorf("shard stream: worker error: %s", payload)
+		}
+		pr, err := experiments.DecodePointResultBinary(payload)
+		if err != nil {
+			return fmt.Errorf("shard stream: %w", err)
+		}
+		if err := experiments.CheckResult(c.cfg.Campaign, c.points, pr); err != nil {
+			return fmt.Errorf("shard stream: %w", err)
+		}
+		if err := c.tracker.Progress(lease.Shard, url, pr.Index); err != nil {
+			return fmt.Errorf("shard stream: %w", err)
+		}
+		select {
+		case c.resultc <- pr:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 }
 
 // leaseErr maps a transport error to a lease-deadline error when the

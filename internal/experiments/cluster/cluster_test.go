@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/wire"
 )
 
 // testWorker is one in-process lpdag-serve worker node: an engine, its
@@ -383,5 +384,87 @@ func TestWorkerStreamMatchesLocalSubset(t *testing.T) {
 	}
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Errorf("worker stream %v\nlocal subset %v", got, want)
+	}
+}
+
+// binaryProbeWorker is a worker whose shard endpoint records the
+// response Content-Type of every lease, so tests can assert which
+// codec the negotiation actually picked.
+func binaryProbeWorker(t *testing.T) (*testWorker, func() []string) {
+	t.Helper()
+	eng := engine.New(engine.Config{Workers: 2})
+	t.Cleanup(eng.Close)
+	srv := engine.NewServer(eng, engine.ServerConfig{})
+	shard := NewWorkerHandler(eng, WorkerConfig{Heartbeat: 100 * time.Millisecond, Load: srv})
+	var (
+		mu     sync.Mutex
+		ctypes []string
+	)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/shard", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		shard.ServeHTTP(w, r)
+		mu.Lock()
+		ctypes = append(ctypes, w.Header().Get("Content-Type"))
+		mu.Unlock()
+	}))
+	mux.Handle("/", srv)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return &testWorker{srv: srv, ts: ts}, func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), ctypes...)
+	}
+}
+
+// TestClusterBinaryLeaseByteIdentical pins the codec negotiation end to
+// end: by default shards stream back as binary wire frames, with
+// Config.DisableBinary they stay JSONL, and either way the merged
+// JSONL/CSV output is byte-identical to a local JSON-only run.
+func TestClusterBinaryLeaseByteIdentical(t *testing.T) {
+	cfg := e2eCampaign(t)
+	wantJSONL, wantCSV := runLocalReference(t, cfg)
+
+	for _, tc := range []struct {
+		name     string
+		disable  bool
+		wantType string
+	}{
+		{"binary", false, wire.ContentType},
+		{"jsonl-fallback", true, "application/x-ndjson"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w1, types1 := binaryProbeWorker(t)
+			w2, types2 := binaryProbeWorker(t)
+			var jb, cb bytes.Buffer
+			results, err := Run(Config{
+				Campaign:      cfg,
+				Workers:       []string{w1.ts.URL, w2.ts.URL},
+				LeaseTimeout:  3 * time.Second,
+				Shards:        8,
+				DisableBinary: tc.disable,
+			}, experiments.RunOptions{JSONL: &jb, CSV: &cb})
+			if err != nil {
+				t.Fatalf("cluster run: %v", err)
+			}
+			if len(results) != 196 {
+				t.Fatalf("got %d results, want 196", len(results))
+			}
+			if !bytes.Equal(jb.Bytes(), wantJSONL) {
+				t.Errorf("merged JSONL differs from local run (%d vs %d bytes)", jb.Len(), len(wantJSONL))
+			}
+			if !bytes.Equal(cb.Bytes(), wantCSV) {
+				t.Errorf("merged CSV differs from local run (%d vs %d bytes)", cb.Len(), len(wantCSV))
+			}
+			served := append(types1(), types2()...)
+			if len(served) == 0 {
+				t.Fatal("no shard leases recorded")
+			}
+			for _, ct := range served {
+				if ct != tc.wantType {
+					t.Fatalf("shard response Content-Type = %q, want %q", ct, tc.wantType)
+				}
+			}
+		})
 	}
 }

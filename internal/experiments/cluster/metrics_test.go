@@ -69,6 +69,7 @@ var metricsCatalog = []string{
 	"lpdag_http_requests_shed_total|counter||Requests refused with 503 by the in-flight semaphore.",
 	"lpdag_http_requests_total|counter|code,route|HTTP requests served, by route pattern and status code.",
 	"lpdag_http_slow_requests_total|counter||Requests slower than the configured slow-request threshold.",
+	"lpdag_http_write_errors_total|counter||Responses lost to encode or mid-body write failures.",
 	"lpdag_server_draining|gauge||1 while SIGTERM drain is in progress, else 0.",
 	"lpdag_session_gate_wait_seconds|histogram||Time a session operation waited on its per-session serialization gate.",
 	"lpdag_sessions_active|gauge||Live analysis sessions after sweeping expired ones.",

@@ -8,6 +8,14 @@ package experiments
 // fuzz_test.go enforce this, and the resumable-campaign workflow rests
 // on it (a campaign's JSONL prefix re-read from disk feeds
 // RunOptions.Completed verbatim).
+//
+// The JSONL encoder is hand-rolled rather than json.Marshal: PointResult
+// is flat and a campaign emits one line per grid point, so the encoder
+// appends into a caller-owned (or pooled) buffer and allocates nothing
+// in steady state. Its output is byte-for-byte what json.Marshal would
+// produce — same field order, sorted sched keys, Go's JSON float
+// formatting, HTML-escaped strings — which TestAppendPointResultMatchesMarshal
+// pins, so golden fixtures and resumed streams are unaffected.
 
 import (
 	"bufio"
@@ -16,18 +24,154 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"unicode/utf8"
 )
+
+// encState is the reusable scratch of one JSONL encode: the output
+// buffer and the sched-key sort slice.
+type encState struct {
+	buf  []byte
+	keys []string
+}
+
+var encPool = sync.Pool{New: func() any { return new(encState) }}
 
 // WritePointResult writes one result as a compact JSON line.
 func WritePointResult(w io.Writer, r PointResult) error {
-	data, err := json.Marshal(r)
-	if err != nil {
+	st := encPool.Get().(*encState)
+	defer encPool.Put(st)
+	var err error
+	if st.buf, err = st.appendPointResult(st.buf[:0], r); err != nil {
 		return err
 	}
-	_, err = w.Write(append(data, '\n'))
+	_, err = w.Write(st.buf)
 	return err
+}
+
+// appendPointResult appends r's compact JSON encoding plus '\n' to buf,
+// byte-identical to json.Marshal of PointResult.
+func (st *encState) appendPointResult(buf []byte, r PointResult) ([]byte, error) {
+	buf = append(buf, `{"index":`...)
+	buf = strconv.AppendInt(buf, int64(r.Index), 10)
+	buf = append(buf, `,"scenario":`...)
+	buf = appendJSONString(buf, r.Scenario)
+	buf = append(buf, `,"m":`...)
+	buf = strconv.AppendInt(buf, int64(r.M), 10)
+	buf = append(buf, `,"u":`...)
+	var err error
+	if buf, err = appendJSONFloat(buf, r.U); err != nil {
+		return buf, err
+	}
+	buf = append(buf, `,"sets":`...)
+	buf = strconv.AppendInt(buf, int64(r.Sets), 10)
+	buf = append(buf, `,"sched":`...)
+	if r.Sched == nil {
+		buf = append(buf, `null`...)
+	} else {
+		keys := st.keys[:0]
+		for k := range r.Sched {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		st.keys = keys
+		buf = append(buf, '{')
+		for i, k := range keys {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONString(buf, k)
+			buf = append(buf, ':')
+			buf = strconv.AppendInt(buf, int64(r.Sched[k]), 10)
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, '}', '\n')
+	return buf, nil
+}
+
+// appendJSONFloat appends f in encoding/json's float64 format (ES6
+// number-to-string: %g-like with exponent form only below 1e-6 or at
+// 1e21 and up, exponents not zero-padded). Non-finite values are an
+// encode error, as in json.Marshal.
+func appendJSONFloat(buf []byte, f float64) ([]byte, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return buf, fmt.Errorf("experiments: unsupported non-finite value %v", f)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	buf = strconv.AppendFloat(buf, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json cleans up e-09 to e-9.
+		if n := len(buf); n >= 4 && buf[n-4] == 'e' && buf[n-3] == '-' && buf[n-2] == '0' {
+			buf[n-2] = buf[n-1]
+			buf = buf[:n-1]
+		}
+	}
+	return buf, nil
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string exactly as encoding/json's
+// default (HTML-escaping) encoder would: control characters, quote,
+// backslash, <, >, & and U+2028/U+2029 escaped, invalid UTF-8 replaced
+// with U+FFFD.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			buf = append(buf, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				buf = append(buf, '\\', b)
+			case '\b':
+				buf = append(buf, '\\', 'b')
+			case '\f':
+				buf = append(buf, '\\', 'f')
+			case '\n':
+				buf = append(buf, '\\', 'n')
+			case '\r':
+				buf = append(buf, '\\', 'r')
+			case '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
 }
 
 // CampaignJSONL renders results as one JSON object per line.
@@ -43,8 +187,9 @@ func CampaignJSONL(results []PointResult) (string, error) {
 
 // ReadCampaignJSONL decodes a JSON-lines result stream. Blank lines are
 // permitted (and not round-tripped); any other malformed line is an
-// error. Sched counts must be non-negative and U finite, so every
-// accepted stream re-encodes canonically.
+// error. Scenario and method names must be valid campaign names, sched
+// counts must be non-negative and U finite, so every accepted stream
+// re-encodes canonically and can feed the CSV emitter.
 func ReadCampaignJSONL(r io.Reader) ([]PointResult, error) {
 	var out []PointResult
 	sc := bufio.NewScanner(r)
@@ -64,15 +209,38 @@ func ReadCampaignJSONL(r io.Reader) ([]PointResult, error) {
 		if dec.More() {
 			return nil, fmt.Errorf("experiments: jsonl line %d: trailing data", line)
 		}
-		if math.IsNaN(pr.U) || math.IsInf(pr.U, 0) {
-			return nil, fmt.Errorf("experiments: jsonl line %d: non-finite u", line)
+		if err := checkPointResultFields(pr); err != nil {
+			return nil, fmt.Errorf("experiments: jsonl line %d: %w", line, err)
 		}
 		out = append(out, pr)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// Scanner failures (a line beyond the 16 MiB cap, a reader
+		// error) happen on the line after the last one delivered.
+		return nil, fmt.Errorf("experiments: jsonl line %d: %w", line+1, err)
 	}
 	return out, nil
+}
+
+// checkPointResultFields enforces the documented stream invariants on a
+// decoded result: finite U, valid scenario and method names,
+// non-negative sched counts. Shared by the JSONL and binary decoders.
+func checkPointResultFields(pr PointResult) error {
+	if math.IsNaN(pr.U) || math.IsInf(pr.U, 0) {
+		return fmt.Errorf("non-finite u")
+	}
+	if !validName(pr.Scenario) {
+		return fmt.Errorf("bad scenario %q", pr.Scenario)
+	}
+	for m, n := range pr.Sched {
+		if !validName(m) {
+			return fmt.Errorf("bad method %q", m)
+		}
+		if n < 0 {
+			return fmt.Errorf("negative sched count %d for %q", n, m)
+		}
+	}
+	return nil
 }
 
 // csvFixedHeader is the leading column set of the campaign CSV; method
@@ -84,33 +252,38 @@ func campaignCSVHeaderNames(methods []string) string {
 	return csvFixedHeader + "," + strings.Join(methods, ",") + "\n"
 }
 
-// campaignCSVRowNames renders one result row under the given method
+// appendCampaignCSVRow appends one result row under the given method
 // columns (methods absent from the result render as 0).
-func campaignCSVRowNames(r PointResult, methods []string) string {
-	var b strings.Builder
-	b.WriteString(strconv.Itoa(r.Index))
-	b.WriteByte(',')
-	b.WriteString(r.Scenario)
-	b.WriteByte(',')
-	b.WriteString(strconv.Itoa(r.M))
-	b.WriteByte(',')
-	b.WriteString(strconv.FormatFloat(r.U, 'g', -1, 64))
-	b.WriteByte(',')
-	b.WriteString(strconv.Itoa(r.Sets))
+func appendCampaignCSVRow(buf []byte, r PointResult, methods []string) []byte {
+	buf = strconv.AppendInt(buf, int64(r.Index), 10)
+	buf = append(buf, ',')
+	buf = append(buf, r.Scenario...)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.M), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendFloat(buf, r.U, 'g', -1, 64)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.Sets), 10)
 	for _, m := range methods {
-		b.WriteByte(',')
-		b.WriteString(strconv.Itoa(r.Sched[m]))
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Sched[m]), 10)
 	}
-	b.WriteByte('\n')
-	return b.String()
+	return append(buf, '\n')
+}
+
+// campaignCSVRowNames renders one result row as a string.
+func campaignCSVRowNames(r PointResult, methods []string) string {
+	return string(appendCampaignCSVRow(nil, r, methods))
 }
 
 // CampaignCSV renders results as CSV with one column per method name.
 func CampaignCSV(results []PointResult, methods []string) string {
 	var b strings.Builder
 	b.WriteString(campaignCSVHeaderNames(methods))
+	var buf []byte
 	for _, r := range results {
-		b.WriteString(campaignCSVRowNames(r, methods))
+		buf = appendCampaignCSVRow(buf[:0], r, methods)
+		b.Write(buf)
 	}
 	return b.String()
 }
@@ -125,6 +298,9 @@ func ParseCampaignCSV(data string) ([]PointResult, []string, error) {
 	sc := bufio.NewScanner(strings.NewReader(data))
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, nil, fmt.Errorf("experiments: csv line 1: %w", err)
+		}
 		return nil, nil, fmt.Errorf("experiments: csv: empty input")
 	}
 	header := sc.Text()
@@ -186,7 +362,7 @@ func ParseCampaignCSV(data string) ([]PointResult, []string, error) {
 		out = append(out, r)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("experiments: csv line %d: %w", line+1, err)
 	}
 	return out, methods, nil
 }

@@ -1,0 +1,121 @@
+package experiments
+
+// Binary form of the campaign result stream: the payload encoding of a
+// wire.FrameResult frame on POST /v1/shard when the coordinator asks
+// for application/x-lpdag-bin.
+//
+// Like the JSONL codec, the binary codec is canonical after one
+// decode/encode cycle (enforced by FuzzPointResultBinaryRoundTrip): the
+// decoder insists on sorted sched keys and the same field invariants as
+// ReadCampaignJSONL, so a binary-leased shard decodes into exactly the
+// PointResult a JSON lease would produce, and the coordinator's merged
+// JSONL/CSV output stays byte-identical either way.
+//
+// Layout (see internal/wire for the primitives):
+//
+//	zigzag  index
+//	string  scenario        (validName)
+//	zigzag  m
+//	float64 u               (finite)
+//	zigzag  sets
+//	uvarint sched presence: 0 = nil map, else entry count + 1
+//	  per entry, ascending by name:
+//	    string  method name (validName)
+//	    uvarint schedulable count
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// Binary stream limits: campaign names are short identifiers and sched
+// maps have one entry per analysis method, so these caps are generous
+// while keeping a corrupt stream from demanding huge allocations.
+const (
+	maxBinaryNameBytes   = 1024
+	maxBinarySchedCounts = 1024
+)
+
+// AppendPointResultBinary appends the canonical binary encoding of r.
+// It enforces the same invariants as the stream decoders, so only
+// results that round-trip can be emitted.
+func AppendPointResultBinary(dst []byte, r PointResult) ([]byte, error) {
+	if err := checkPointResultFields(r); err != nil {
+		return dst, fmt.Errorf("experiments: binary encode: %w", err)
+	}
+	if len(r.Sched) > maxBinarySchedCounts {
+		return dst, fmt.Errorf("experiments: binary encode: %d sched entries exceed limit %d", len(r.Sched), maxBinarySchedCounts)
+	}
+	dst = wire.AppendZigzag(dst, int64(r.Index))
+	dst = wire.AppendString(dst, r.Scenario)
+	dst = wire.AppendZigzag(dst, int64(r.M))
+	dst = wire.AppendFloat64(dst, r.U)
+	dst = wire.AppendZigzag(dst, int64(r.Sets))
+	if r.Sched == nil {
+		return append(dst, 0), nil
+	}
+	st := encPool.Get().(*encState)
+	defer encPool.Put(st)
+	keys := st.keys[:0]
+	for k := range r.Sched {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	st.keys = keys
+	dst = binary.AppendUvarint(dst, uint64(len(keys))+1)
+	for _, k := range keys {
+		dst = wire.AppendString(dst, k)
+		dst = binary.AppendUvarint(dst, uint64(r.Sched[k]))
+	}
+	return dst, nil
+}
+
+// DecodePointResultBinary decodes one binary result payload, enforcing
+// the stream invariants (valid names, finite u, non-negative sorted
+// sched entries, no trailing bytes).
+func DecodePointResultBinary(payload []byte) (PointResult, error) {
+	var r PointResult
+	d := wire.NewDec(payload)
+	r.Index = int(d.Zigzag())
+	r.Scenario = d.String(maxBinaryNameBytes)
+	r.M = int(d.Zigzag())
+	r.U = d.Float64()
+	r.Sets = int(d.Zigzag())
+	if n := d.Uvarint(); n > 0 {
+		count := n - 1
+		if count > maxBinarySchedCounts {
+			return PointResult{}, fmt.Errorf("experiments: binary decode: %d sched entries exceed limit %d", count, maxBinarySchedCounts)
+		}
+		r.Sched = make(map[string]int, count)
+		prev := ""
+		for i := uint64(0); i < count && d.Err() == nil; i++ {
+			name := d.String(maxBinaryNameBytes)
+			v := d.Uvarint()
+			if d.Err() != nil {
+				break
+			}
+			if i > 0 && name <= prev {
+				return PointResult{}, fmt.Errorf("experiments: binary decode: sched keys not strictly ascending at %q", name)
+			}
+			if v > math.MaxInt32 {
+				return PointResult{}, fmt.Errorf("experiments: binary decode: sched count %d out of range", v)
+			}
+			r.Sched[name] = int(v)
+			prev = name
+		}
+	}
+	if err := d.Err(); err != nil {
+		return PointResult{}, fmt.Errorf("experiments: binary decode: %w", err)
+	}
+	if d.Rest() != 0 {
+		return PointResult{}, fmt.Errorf("experiments: binary decode: %d trailing bytes", d.Rest())
+	}
+	if err := checkPointResultFields(r); err != nil {
+		return PointResult{}, fmt.Errorf("experiments: binary decode: %w", err)
+	}
+	return r, nil
+}

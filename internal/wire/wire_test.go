@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAccepts(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   bool
+	}{
+		{"", false},
+		{"application/json", false},
+		{ContentType, true},
+		{"application/x-ndjson, " + ContentType, true},
+		{ContentType + ";q=0.9, application/json", true},
+		{"  " + ContentType + "  ", true},
+		{ContentType + "x", false},
+		{"application/*", false},
+	}
+	for _, c := range cases {
+		if got := Accepts(c.accept); got != c.want {
+			t.Errorf("Accepts(%q) = %v, want %v", c.accept, got, c.want)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf []byte
+	payload := []byte("hello")
+	buf = AppendFrame(buf, FrameResult, payload)
+	buf = append(buf, HeartbeatFrame...)
+	buf = AppendFrame(buf, FrameError, []byte("boom"))
+
+	r := NewReader(bytes.NewReader(buf), 1<<20)
+	typ, p, err := r.ReadFrame()
+	if err != nil || typ != FrameResult || string(p) != "hello" {
+		t.Fatalf("frame 1: typ=%c p=%q err=%v", typ, p, err)
+	}
+	typ, p, err = r.ReadFrame()
+	if err != nil || typ != FrameHeartbeat || len(p) != 0 {
+		t.Fatalf("frame 2: typ=%c p=%q err=%v", typ, p, err)
+	}
+	typ, p, err = r.ReadFrame()
+	if err != nil || typ != FrameError || string(p) != "boom" {
+		t.Fatalf("frame 3: typ=%c p=%q err=%v", typ, p, err)
+	}
+	if _, _, err = r.ReadFrame(); err != io.EOF {
+		t.Fatalf("end of stream: err=%v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	full := AppendFrame(nil, FrameResult, []byte("payload"))
+	for cut := 1; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]), 1<<20)
+		if _, _, err := r.ReadFrame(); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut=%d: err=%v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestReadFrameRejectsUnknownTypeAndOversize(t *testing.T) {
+	r := NewReader(strings.NewReader("Zxx"), 1<<20)
+	if _, _, err := r.ReadFrame(); err == nil || !strings.Contains(err.Error(), "unknown frame type") {
+		t.Fatalf("unknown type: err=%v", err)
+	}
+	big := AppendFrame(nil, FrameResult, make([]byte, 100))
+	r = NewReader(bytes.NewReader(big), 10)
+	if _, _, err := r.ReadFrame(); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversize: err=%v", err)
+	}
+}
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendString(b, "scenario-1")
+	b = AppendFloat64(b, 0.6)
+	b = AppendFloat64(b, math.Copysign(0, -1)) // -0 must survive exactly
+	b = AppendZigzag(b, -42)
+	b = AppendZigzag(b, math.MaxInt64)
+	b = AppendZigzag(b, math.MinInt64)
+	b = append(b, 0x7f)
+
+	d := NewDec(b)
+	if s := d.String(64); s != "scenario-1" {
+		t.Fatalf("String = %q", s)
+	}
+	if f := d.Float64(); f != 0.6 {
+		t.Fatalf("Float64 = %v", f)
+	}
+	if f := d.Float64(); math.Float64bits(f) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatalf("negative zero did not round-trip: %v", f)
+	}
+	if v := d.Zigzag(); v != -42 {
+		t.Fatalf("Zigzag = %d", v)
+	}
+	if v := d.Zigzag(); v != math.MaxInt64 {
+		t.Fatalf("Zigzag max = %d", v)
+	}
+	if v := d.Zigzag(); v != math.MinInt64 {
+		t.Fatalf("Zigzag min = %d", v)
+	}
+	if v := d.Byte(); v != 0x7f {
+		t.Fatalf("Byte = %#x", v)
+	}
+	if d.Err() != nil || d.Rest() != 0 {
+		t.Fatalf("err=%v rest=%d", d.Err(), d.Rest())
+	}
+}
+
+func TestDecLatchesFirstError(t *testing.T) {
+	d := NewDec([]byte{0x05, 'a'}) // claims 5 bytes, has 1
+	if s := d.String(64); s != "" {
+		t.Fatalf("truncated String = %q", s)
+	}
+	first := d.Err()
+	if first == nil {
+		t.Fatal("no error for truncated string")
+	}
+	// Further decodes return zero values and keep the first error.
+	if v := d.Uvarint(); v != 0 {
+		t.Fatalf("Uvarint after error = %d", v)
+	}
+	if d.Float64() != 0 || d.Byte() != 0 || d.Zigzag() != 0 {
+		t.Fatal("decodes after error not zero")
+	}
+	if d.Err() != first {
+		t.Fatalf("error replaced: %v", d.Err())
+	}
+}
+
+func TestDecStringLimit(t *testing.T) {
+	b := AppendString(nil, "abcdef")
+	d := NewDec(b)
+	if d.String(3); d.Err() == nil {
+		t.Fatal("no error for over-limit string")
+	}
+}
