@@ -495,6 +495,45 @@ func BenchmarkSessionEditFullReanalysis(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionEditDurable is BenchmarkSessionEdit plus the
+// durability tax lpdag-serve pays per committed edit batch when
+// -session-dir is set: snapshot encode + append + fsync on the session
+// store. The op is dominated by the fsync, so the absolute number is a
+// property of the disk, not the code; lpdag-bench gates it with the
+// standing -max-durable-edit-ns budget (25ms — an order of magnitude
+// above a worst-case rotational fsync) rather than the relative
+// baseline comparison, and the allocs/op leg keeps the encode path
+// honest.
+func BenchmarkSessionEditDurable(b *testing.B) {
+	tasks := sessionBenchTasks(b)
+	s, err := NewSession(Options{Cores: 8, Method: LPILP}, tasks...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := OpenSessionStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+	if _, err := s.Report(ctx); err != nil { // warm the incremental state
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.SetPriority(2, 3); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Report(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Append(s.Snapshot("bench", int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSessionAdmitProbe measures the admission-control hot path:
 // TryAdmit of a fresh task at the lowest priority on the same 16-task
 // session (analyze-without-commit).

@@ -59,6 +59,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		compare = fs.Bool("compare", false, "run all three methods and print all reports")
 		refine  = fs.Bool("final-npr", false, "enable the final-NPR refinement (future-work (ii))")
 		repl    = fs.Bool("session", false, "interactive what-if shell (reads commands from stdin)")
+		server  = fs.String("server", "", "with -session: comma-separated lpdag-serve base URLs; the session lives server-side, the client follows 307 session redirects and retries dead peers")
 		in      = fs.String("f", "", "input task-set JSON (default stdin; optional with -session)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -98,7 +99,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *repl {
-		return runSession(opts, ts, stdin, stdout, stderr)
+		return runSession(opts, ts, *server, stdin, stdout, stderr)
+	}
+	if *server != "" {
+		fmt.Fprintln(stderr, "lpdag-analyze: -server requires -session")
+		return 2
 	}
 
 	if *compare {
@@ -139,16 +144,39 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runSession is the -session REPL loop.
-func runSession(opts core.Options, ts *model.TaskSet, stdin io.Reader, stdout, stderr io.Writer) int {
+// runSession is the -session REPL loop; servers == "" runs the session
+// in-process, otherwise it lives on an lpdag-serve cluster.
+func runSession(opts core.Options, ts *model.TaskSet, servers string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var tasks []*model.Task
 	if ts != nil {
 		tasks = ts.Tasks
 	}
-	sess, err := session.New(opts, tasks...)
-	if err != nil {
-		fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
-		return 2
+	var sess sessionBackend
+	if servers != "" {
+		var peers []string
+		for _, p := range strings.Split(servers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		if len(peers) == 0 {
+			fmt.Fprintln(stderr, "lpdag-analyze: -server lists no URLs")
+			return 2
+		}
+		remote, err := newRemoteSession(peers, opts, tasks)
+		if err != nil {
+			fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
+			return 2
+		}
+		defer remote.Close()
+		sess = remote
+	} else {
+		local, err := session.New(opts, tasks...)
+		if err != nil {
+			fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
+			return 2
+		}
+		sess = local
 	}
 	ctx := context.Background()
 	fmt.Fprintf(stdout, "session: %d tasks, m=%d, %v (type `help` for commands)\n",
@@ -299,7 +327,7 @@ const sessionHelp = `commands:
 `
 
 // sessionExit computes the final verdict for the exit status.
-func sessionExit(ctx context.Context, sess *session.Session, stderr io.Writer) int {
+func sessionExit(ctx context.Context, sess sessionBackend, stderr io.Writer) int {
 	rep, err := sess.Report(ctx)
 	if err != nil {
 		fmt.Fprintf(stderr, "lpdag-analyze: %v\n", err)
@@ -324,7 +352,7 @@ func splitAtArg(rest string) (int, string) {
 }
 
 // resolveTask parses a task reference (priority index or name).
-func resolveTask(sess *session.Session, ref string, stderr io.Writer) (int, bool) {
+func resolveTask(sess sessionBackend, ref string, stderr io.Writer) (int, bool) {
 	if ref == "" {
 		fmt.Fprintf(stderr, "error: missing task index or name\n")
 		return 0, false

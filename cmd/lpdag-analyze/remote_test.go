@@ -1,0 +1,99 @@
+package main
+
+// Tests of the -server remote session backend: the REPL over a live
+// lpdag-serve handler must behave exactly like the in-process session,
+// and the client must survive a dead peer in its list.
+
+import (
+	"bytes"
+	"net"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// replScript drives every remote-capable command through one
+// conversation: queries, edits, an admission probe, a method switch,
+// sensitivity, and the exit report.
+const replScript = `report
+tasks
+add {"name":"mid","wcet":[2,2],"edges":[[0,1]],"deadline":45,"period":45}
+admit {"name":"probe","wcet":[30],"edges":[],"deadline":35,"period":35}
+move 2 0
+cores 3
+method lp-max
+sensitivity 0
+report
+rm mid
+tasks
+quit
+`
+
+// runREPL executes the -session REPL over the script and returns its
+// stdout; extra appends backend-selecting flags.
+func runREPL(t *testing.T, extra ...string) (string, int) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "set.json")
+	if err := os.WriteFile(path, []byte(schedulableSet), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"-session", "-m", "2", "-method", "lp-ilp", "-f", path}, extra...)
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(replScript), &out, &errb)
+	if s := errb.String(); s != "" {
+		t.Fatalf("stderr not empty: %s", s)
+	}
+	return out.String(), code
+}
+
+// TestSessionREPLRemoteMatchesLocal pins the remote backend's contract:
+// the full conversation, run against a live server, prints byte-for-byte
+// what the in-process session prints.
+func TestSessionREPLRemoteMatchesLocal(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 2})
+	defer eng.Close()
+	srv := httptest.NewServer(engine.NewServer(eng, engine.ServerConfig{SessionTTL: -1}))
+	defer srv.Close()
+
+	local, localCode := runREPL(t)
+	remote, remoteCode := runREPL(t, "-server", srv.URL)
+	if localCode != remoteCode {
+		t.Fatalf("exit codes differ: local %d, remote %d", localCode, remoteCode)
+	}
+	if local != remote {
+		t.Fatalf("remote REPL output diverged from local:\n--- local ---\n%s\n--- remote ---\n%s", local, remote)
+	}
+	if !strings.Contains(local, "ADMIT") && !strings.Contains(local, "REJECT") {
+		t.Fatalf("script exercised no admission probe:\n%s", local)
+	}
+}
+
+// TestSessionREPLSurvivesDeadPeer lists a dead peer first: the client
+// must rotate past the refused connection and run the whole
+// conversation against the live one.
+func TestSessionREPLSurvivesDeadPeer(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 2})
+	defer eng.Close()
+	srv := httptest.NewServer(engine.NewServer(eng, engine.ServerConfig{SessionTTL: -1}))
+	defer srv.Close()
+
+	// A listener opened and immediately closed: its address refuses
+	// connections but belongs to no other process.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + ln.Addr().String()
+	ln.Close()
+
+	local, _ := runREPL(t)
+	remote, _ := runREPL(t, "-server", deadURL+","+srv.URL)
+	if local != remote {
+		t.Fatalf("output with a dead peer diverged:\n--- local ---\n%s\n--- remote ---\n%s", local, remote)
+	}
+}

@@ -23,7 +23,7 @@
 //     exactly by TestAnalyzerSteadyStateZeroAlloc instead), or
 //   - ns/op regressed by more than -max-regress percent.
 //
-// Independently of any baseline, every run checks two standing gates:
+// Independently of any baseline, every run checks three standing gates:
 //
 //   - cache inversion: if both engine-sweep benchmarks are present,
 //     EngineCachedSweep exceeding EngineUncachedSweep (ns/op beyond a
@@ -34,7 +34,12 @@
 //     -max-campaign-allocs exits 1 — the pooled stream encoders keep a
 //     campaign's allocation cost O(1) per batch, and the absolute
 //     budget catches compounding creep a relative gate would wave
-//     through.
+//     through;
+//   - durable edit budget: SessionEditDurable ns/op above
+//     -max-durable-edit-ns exits 1 — the durable commit path is one
+//     snapshot encode + one append + one fsync, and an absolute ceiling
+//     (rather than a disk-vs-disk relative gate) catches anything
+//     structural joining that path.
 //
 // With -out it appends the fresh entry to the trajectory file (creating
 // it when missing) so each PR can land its measured point.
@@ -77,7 +82,7 @@ type Trajectory struct {
 }
 
 // DefaultBench is the tracked benchmark set.
-const DefaultBench = "^(BenchmarkAnalyzePoint|BenchmarkCampaignThroughput|BenchmarkEngineUncachedSweep|BenchmarkEngineCachedSweep|BenchmarkSessionEdit|BenchmarkSessionEditFullReanalysis|BenchmarkSessionAdmitProbe|BenchmarkServeAnalyze|BenchmarkServeAnalyzeBinary)$"
+const DefaultBench = "^(BenchmarkAnalyzePoint|BenchmarkCampaignThroughput|BenchmarkEngineUncachedSweep|BenchmarkEngineCachedSweep|BenchmarkSessionEdit|BenchmarkSessionEditDurable|BenchmarkSessionEditFullReanalysis|BenchmarkSessionAdmitProbe|BenchmarkServeAnalyze|BenchmarkServeAnalyzeBinary)$"
 
 // DefaultMaxCampaignAllocs is the standing allocation budget of the
 // serving data plane: BenchmarkCampaignThroughput (one full campaign —
@@ -87,6 +92,17 @@ const DefaultBench = "^(BenchmarkAnalyzePoint|BenchmarkCampaignThroughput|Benchm
 // noise passes but any per-result allocation creeping back into the
 // stream path (which multiplies by the point count) fails loudly.
 const DefaultMaxCampaignAllocs = 90000
+
+// DefaultMaxDurableEditNs is the standing latency budget of the durable
+// session plane: BenchmarkSessionEditDurable (one edit + report +
+// snapshot append + fsync per op) may not exceed this many ns/op. The
+// op is fsync-bound, so a relative baseline gate would only measure the
+// CI box's disk against last PR's CI box; the absolute budget — 25ms,
+// an order of magnitude over a worst-case rotational fsync — instead
+// catches structural mistakes: a second fsync sneaking onto the commit
+// path, compaction running under the append lock, or snapshot encoding
+// going quadratic.
+const DefaultMaxDurableEditNs = 25_000_000
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -106,6 +122,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxRegress        = fs.Float64("max-regress", 20, "max tolerated ns/op regression in percent")
 		maxCampaignAllocs = fs.Int64("max-campaign-allocs", DefaultMaxCampaignAllocs,
 			"standing allocs/op budget for CampaignThroughput (0 disables)")
+		maxDurableEditNs = fs.Float64("max-durable-edit-ns", DefaultMaxDurableEditNs,
+			"standing ns/op budget for SessionEditDurable (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -152,6 +170,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		status = 1
 	}
 	for _, over := range CheckServingBudget(entry, *maxCampaignAllocs) {
+		fmt.Fprintf(stderr, "lpdag-bench: BUDGET: %s\n", over)
+		status = 1
+	}
+	for _, over := range CheckDurabilityBudget(entry, *maxDurableEditNs) {
 		fmt.Fprintf(stderr, "lpdag-bench: BUDGET: %s\n", over)
 		status = 1
 	}
@@ -282,6 +304,26 @@ func CheckServingBudget(e Entry, maxCampaignAllocs int64) []string {
 		out = append(out, fmt.Sprintf(
 			"CampaignThroughput %d allocs/op exceeds the serving budget %d: per-result allocation is back on the stream path",
 			m.AllocsPerOp, maxCampaignAllocs))
+	}
+	return out
+}
+
+// CheckDurabilityBudget enforces the durable session plane's standing
+// latency budget: SessionEditDurable ns/op at or under maxNs. The op is
+// fsync-bound, so relative gating across heterogeneous CI disks flakes;
+// the absolute ceiling catches structural regressions (extra fsyncs on
+// the commit path, compaction under the append lock) that disk
+// variation cannot explain. Returns violation descriptions; empty when
+// the gate passes, the benchmark is absent, or the budget is 0.
+func CheckDurabilityBudget(e Entry, maxNs float64) []string {
+	if maxNs <= 0 {
+		return nil
+	}
+	var out []string
+	if m, ok := e.Benchmarks["SessionEditDurable"]; ok && m.NsPerOp > maxNs {
+		out = append(out, fmt.Sprintf(
+			"SessionEditDurable %.4g ns/op exceeds the %.4g ns fsync budget: something structural joined the durable commit path",
+			m.NsPerOp, maxNs))
 	}
 	return out
 }

@@ -135,3 +135,25 @@ func TestCheckServingBudget(t *testing.T) {
 		t.Errorf("absent benchmark flagged: %v", v)
 	}
 }
+
+func TestCheckDurabilityBudget(t *testing.T) {
+	entry := func(ns float64) Entry {
+		return Entry{Benchmarks: map[string]Measurement{
+			"SessionEditDurable": {NsPerOp: ns, AllocsPerOp: 100},
+		}}
+	}
+	if v := CheckDurabilityBudget(entry(25e6), 25e6); len(v) != 0 {
+		t.Errorf("at-budget entry flagged: %v", v)
+	}
+	if v := CheckDurabilityBudget(entry(25e6+1), 25e6); len(v) != 1 {
+		t.Errorf("over-budget entry not flagged: %v", v)
+	}
+	// 0 disables the gate entirely.
+	if v := CheckDurabilityBudget(entry(1e12), 0); len(v) != 0 {
+		t.Errorf("disabled gate still flagged: %v", v)
+	}
+	// A partial -bench run without the benchmark can't judge.
+	if v := CheckDurabilityBudget(Entry{Benchmarks: map[string]Measurement{}}, 25e6); len(v) != 0 {
+		t.Errorf("absent benchmark flagged: %v", v)
+	}
+}

@@ -16,7 +16,8 @@
 //	POST /v1/campaign  sweep campaign, streamed as JSON lines
 //	POST /v1/shard     cluster worker: compute a leased campaign shard
 //	GET  /healthz      liveness probe ("ok", or "draining" + 503 once
-//	                   SIGTERM drain begins) with worker load
+//	                   SIGTERM drain begins) with worker load and live
+//	                   session count
 //	GET  /stats        engine + cache + worker counters
 //	GET  /metrics      Prometheus text exposition: engine pool, cache,
 //	                   sessions, campaign/cluster, HTTP, analysis traces
@@ -36,6 +37,22 @@
 //	POST   /v1/sessions/{id}/admit        admission probe, no commit
 //	POST   /v1/sessions/{id}/sensitivity  per-task WCET headroom
 //	DELETE /v1/sessions/{id}              drop the session
+//	POST   /v1/sessions/handoff           peer drain hand-off (binary
+//	                                      snapshot frames, epoch-checked)
+//
+// Sessions become durable with -session-dir: every committed edit batch
+// is snapshotted and fsynced to an append-only log before the response
+// goes out, startup restores the unexpired sessions (TTL eviction
+// tombstones the durable entry, so a restart never resurrects an
+// expired id), and recovery tolerates a torn tail from a crash
+// mid-append. With -self-url and -peers a static group of servers forms
+// a consistent-hash ring over session ids: requests for sessions owned
+// elsewhere answer 307 with the owner in X-Lpdag-Session-Owner, every
+// session response carries the edit epoch in X-Lpdag-Session-Epoch (so
+// clients can tell whether an edit whose connection died actually
+// committed), and the SIGTERM drain hands each live session to its next
+// ring owner before the listener closes. See DESIGN.md, "Durable
+// sessions".
 //
 // Example:
 //
@@ -71,6 +88,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -102,6 +120,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// Stateful analysis sessions (/v1/sessions).
 		maxSessions = fs.Int("max-sessions", engine.DefaultMaxSessions, "live analysis sessions before creates shed 503s")
 		sessionTTL  = fs.Duration("session-ttl", engine.DefaultSessionTTL, "evict sessions untouched this long (negative = never)")
+		sessionDir  = fs.String("session-dir", "", "persist sessions to this directory (fsync per committed edit batch; restored on startup); empty = in-memory only")
+		selfURL     = fs.String("self-url", "", "this node's advertised base URL on the session ring (e.g. http://host:8080); required with -peers")
+		peers       = fs.String("peers", "", "comma-separated base URLs of peer session nodes; enables consistent-hash session routing (307 to the owner) and drain hand-off")
 
 		// Cluster worker mode: the node serves POST /v1/shard leases from
 		// a campaign coordinator (lpdag-experiments -cluster).
@@ -177,10 +198,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// one layer above the engine). The engine server doubles as the
 	// node's worker-state surface: the shard handler feeds its load
 	// gauges, and /healthz flips to "draining" when shutdown begins.
+	var peerList []string
+	if *peers != "" {
+		if *selfURL == "" {
+			fmt.Fprintln(stderr, "lpdag-serve: -peers requires -self-url (this node's own base URL)")
+			return 2
+		}
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	var store *engine.SessionStore
+	if *sessionDir != "" {
+		var err error
+		if store, err = engine.OpenSessionStore(*sessionDir); err != nil {
+			fmt.Fprintf(stderr, "lpdag-serve: session store: %v\n", err)
+			return 2
+		}
+		defer store.Close()
+	}
 	engSrv := engine.NewServer(eng, engine.ServerConfig{
 		MaxBodyBytes: *maxBody, MaxInFlight: *inFlight, MaxBatch: *maxBatch,
 		MaxSessions: *maxSessions, SessionTTL: *sessionTTL,
+		SessionStore: store, SelfURL: *selfURL, Peers: peerList,
 	})
+	if store != nil {
+		fmt.Fprintf(stderr, "lpdag-serve: session store %s: %d sessions restored\n",
+			*sessionDir, engSrv.Sessions().Len())
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/v1/campaign", experiments.CampaignHandler(eng))
 	if *heartbeat <= 0 {
@@ -226,6 +273,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		case <-time.After(*drainGrace):
 		}
 	}
+	// Flush every session snapshot to the durable store and hand live
+	// sessions to their next ring owners BEFORE the listener closes: a
+	// client mid-conversation must find its session elsewhere the moment
+	// this node stops answering.
+	handCtx, handCancel := context.WithTimeout(context.Background(), *drain)
+	if err := engSrv.DrainSessions(handCtx, nil); err != nil {
+		fmt.Fprintf(stderr, "lpdag-serve: session hand-off incomplete (store still holds them): %v\n", err)
+	}
+	handCancel()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {

@@ -1,0 +1,418 @@
+package engine_test
+
+// Chaos end-to-end tests for the durable session plane: three real
+// HTTP nodes on a consistent-hash ring, a client mid-conversation, and
+// a node killed abruptly (http.Server.Close severs the listener and
+// every connection — the in-process equivalent of kill -9, with no
+// drain and no hand-off). The client must be able to continue the
+// SAME session elsewhere, and the final report must be byte-identical
+// to an uninterrupted single-node control run.
+//
+// CI runs these under -race (the ci.yml chaos job).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// chaosNode is one serving process: engine, durable store, ring-aware
+// server, real listener.
+type chaosNode struct {
+	url   string
+	store *engine.SessionStore
+	esrv  *engine.Server
+	hsrv  *http.Server
+}
+
+// startChaosNode serves a ring member on ln, persisting to dir.
+func startChaosNode(t *testing.T, ln net.Listener, dir, self string, peers []string) *chaosNode {
+	t.Helper()
+	eng := engine.New(engine.Config{Workers: 2})
+	t.Cleanup(eng.Close)
+	st, err := engine.OpenSessionStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	esrv := engine.NewServer(eng, engine.ServerConfig{
+		SessionTTL: -1, SessionStore: st, SelfURL: self, Peers: peers,
+	})
+	n := &chaosNode{url: self, store: st, esrv: esrv, hsrv: &http.Server{Handler: esrv}}
+	go n.hsrv.Serve(ln)
+	t.Cleanup(func() { n.hsrv.Close() })
+	return n
+}
+
+// listenLoopback pre-allocates a listener so node URLs are known before
+// any node starts (the peer list is static configuration).
+func listenLoopback(t *testing.T) (net.Listener, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	return ln, "http://" + ln.Addr().String()
+}
+
+// chaosClient is the REPL-shaped client: rotates peers on transport
+// errors with a short backoff, follows 307s via X-Lpdag-Session-Owner,
+// and tracks the session epoch header to disambiguate edits whose
+// connection died mid-flight.
+type chaosClient struct {
+	t     *testing.T
+	peers []string
+	dead  map[string]bool
+	cur   int
+	hc    *http.Client
+	id    string
+	epoch uint64
+}
+
+func newChaosClient(t *testing.T, peers ...string) *chaosClient {
+	return &chaosClient{
+		t: t, peers: append([]string(nil), peers...),
+		dead: make(map[string]bool),
+		hc: &http.Client{
+			Timeout:       10 * time.Second,
+			CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+		},
+	}
+}
+
+// rotate moves to the next peer that has not failed at transport level.
+// If every peer looks dead, plain rotation is the best remaining bet.
+func (c *chaosClient) rotate() {
+	for i := 1; i <= len(c.peers); i++ {
+		next := (c.cur + i) % len(c.peers)
+		if !c.dead[c.peers[next]] {
+			c.cur = next
+			return
+		}
+	}
+	c.cur = (c.cur + 1) % len(c.peers)
+}
+
+func (c *chaosClient) addPeer(url string) {
+	for _, p := range c.peers {
+		if p == url {
+			return
+		}
+	}
+	c.peers = append(c.peers, url)
+}
+
+// request keeps trying until a non-redirect HTTP response arrives;
+// transport failures rotate the peer list. It returns the status and
+// body, or an error only when every attempt failed at transport level.
+func (c *chaosClient) request(method, path, body string) (int, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < 24; attempt++ {
+		base := c.peers[c.cur]
+		req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		if body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			c.dead[base] = true
+			c.rotate()
+			time.Sleep(time.Duration(1+attempt%5) * 5 * time.Millisecond)
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			c.dead[base] = true
+			c.rotate()
+			continue
+		}
+		if resp.StatusCode == http.StatusTemporaryRedirect {
+			owner := resp.Header.Get("X-Lpdag-Session-Owner")
+			if owner == "" {
+				c.t.Fatalf("307 without owner header")
+			}
+			lastErr = fmt.Errorf("redirected to %s", owner)
+			// A redirect to a peer we already failed to reach means the
+			// redirecting node's ring still names a dead member: fall
+			// through to whoever actually holds the session.
+			if c.dead[owner] {
+				c.rotate()
+				continue
+			}
+			c.addPeer(owner)
+			for i, p := range c.peers {
+				if p == owner {
+					c.cur = i
+				}
+			}
+			continue
+		}
+		if e := resp.Header.Get("X-Lpdag-Session-Epoch"); e != "" {
+			if v, err := strconv.ParseUint(e, 10, 64); err == nil {
+				c.epoch = v
+			}
+		}
+		return resp.StatusCode, data, nil
+	}
+	return 0, nil, lastErr
+}
+
+// mustRequest is request that fails the test on exhaustion or non-2xx.
+func (c *chaosClient) mustRequest(method, path, body string) []byte {
+	c.t.Helper()
+	status, data, err := c.request(method, path, body)
+	if err != nil {
+		c.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	if status < 200 || status >= 300 {
+		c.t.Fatalf("%s %s: status %d: %s", method, path, status, data)
+	}
+	return data
+}
+
+// create starts the session on the current peer.
+func (c *chaosClient) create(tsJSON string) {
+	c.t.Helper()
+	data := c.mustRequest(http.MethodPost, "/v1/sessions",
+		fmt.Sprintf(`{"cores": 2, "method": "lp-ilp", "taskset": %s}`, tsJSON))
+	var resp struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil || resp.ID == "" {
+		c.t.Fatalf("create: %v: %s", err, data)
+	}
+	c.id = resp.ID
+}
+
+// edit applies one edit batch exactly once, resolving the ambiguous
+// "connection died mid-edit" case via the epoch header: if the session
+// already advanced to the expected epoch on the failover node, the
+// batch committed before the crash and must NOT be resent.
+func (c *chaosClient) edit(editJSON string, onTransportError func()) {
+	c.t.Helper()
+	want := c.epoch + 1
+	status, data, err := c.request(http.MethodPost, "/v1/sessions/"+c.id+"/edits",
+		fmt.Sprintf(`{"edits": [%s]}`, editJSON))
+	if err != nil {
+		if onTransportError != nil {
+			onTransportError()
+		}
+		// Did the edit land before the node died? Ask whoever now
+		// answers for the session.
+		c.mustRequest(http.MethodGet, "/v1/sessions/"+c.id+"/report", "")
+		if c.epoch == want {
+			return // committed and durable; the crash only ate the response
+		}
+		if c.epoch != want-1 {
+			c.t.Fatalf("epoch %d after failover, want %d or %d", c.epoch, want-1, want)
+		}
+		status, data, err = c.request(http.MethodPost, "/v1/sessions/"+c.id+"/edits",
+			fmt.Sprintf(`{"edits": [%s]}`, editJSON))
+		if err != nil {
+			c.t.Fatalf("edit resend: %v", err)
+		}
+	}
+	if status != http.StatusOK {
+		c.t.Fatalf("edit: status %d: %s", status, data)
+	}
+	if c.epoch != want {
+		c.t.Fatalf("epoch %d after edit, want %d", c.epoch, want)
+	}
+}
+
+// chaosEdits is the conversation both the control and the failover runs
+// apply, in order.
+var chaosEdits = []string{
+	`{"op": "set_cores", "cores": 3}`,
+	`{"op": "set_priority", "from": 0, "to": 1}`,
+	`{"op": "set_cores", "cores": 2}`,
+	`{"op": "set_method", "method": "lp-max"}`,
+	`{"op": "set_priority", "from": 1, "to": 0}`,
+}
+
+// TestChaosKillMidConversation is the acceptance scenario: a session
+// created on node A, edited over a three-node ring, node A killed
+// abruptly mid-edit-stream (after the edit is durable but possibly
+// before its response escapes), a replacement node opening A's session
+// dir — and the client's remaining edits landing such that the final
+// report is byte-identical to an uninterrupted single-node run.
+func TestChaosKillMidConversation(t *testing.T) {
+	tsJSON := paperExampleJSON(t)
+
+	// Control: one node, no faults, same conversation.
+	lnD, urlD := listenLoopback(t)
+	startChaosNode(t, lnD, t.TempDir(), urlD, nil)
+	control := newChaosClient(t, urlD)
+	control.create(tsJSON)
+	for _, e := range chaosEdits {
+		control.edit(e, nil)
+	}
+	controlFinal := control.mustRequest(http.MethodGet, "/v1/sessions/"+control.id+"/report", "")
+
+	// The ring under test.
+	lnA, urlA := listenLoopback(t)
+	lnB, urlB := listenLoopback(t)
+	lnC, urlC := listenLoopback(t)
+	peers := []string{urlA, urlB, urlC}
+	dirA := t.TempDir()
+	nodeA := startChaosNode(t, lnA, dirA, urlA, peers)
+	startChaosNode(t, lnB, t.TempDir(), urlB, peers)
+	startChaosNode(t, lnC, t.TempDir(), urlC, peers)
+
+	client := newChaosClient(t, urlA, urlB, urlC)
+	client.create(tsJSON) // created via A, so A owns it
+	epochAfterCreate := client.epoch
+	if epochAfterCreate == 0 {
+		t.Fatal("create carried no epoch header")
+	}
+
+	// Kill A the instant its 2nd post-create append commits: the edit
+	// is durable, but the listener and every connection die before the
+	// response can escape — the client sees a dead TCP connection and
+	// cannot know whether the edit landed.
+	var fault engine.FaultConfig
+	nodeA.store.SetFault(&fault)
+	fault.KillAfterAppends(2, func() { nodeA.hsrv.Close() })
+
+	// Replacement for A: opens A's session dir on a NEW address
+	// (shared-storage takeover). Started lazily, the moment the client
+	// first notices A is gone — like an operator's supervisor would.
+	var startReplacement sync.Once
+	var replacementStarted bool
+	spawnA2 := func() {
+		startReplacement.Do(func() {
+			replacementStarted = true
+			lnA2, urlA2 := listenLoopback(t)
+			startChaosNode(t, lnA2, dirA, urlA2, []string{urlA2, urlB, urlC})
+			client.addPeer(urlA2)
+		})
+	}
+
+	for _, e := range chaosEdits {
+		client.edit(e, spawnA2)
+	}
+	if !replacementStarted {
+		t.Fatal("node A never died: the kill fault did not fire")
+	}
+	if want := epochAfterCreate + uint64(len(chaosEdits)); client.epoch != want {
+		t.Fatalf("final epoch %d, want %d", client.epoch, want)
+	}
+
+	gotFinal := client.mustRequest(http.MethodGet, "/v1/sessions/"+client.id+"/report", "")
+	if !bytes.Equal(gotFinal, controlFinal) {
+		t.Fatalf("failover run diverged from control:\n got %s\nwant %s", gotFinal, controlFinal)
+	}
+}
+
+// TestChaosDrainHandoff pins the graceful path: a draining node pushes
+// its live sessions to the next ring owner before its listener closes,
+// and the client's next request — bounced around the ring — finds the
+// session without any replacement node.
+func TestChaosDrainHandoff(t *testing.T) {
+	lnA, urlA := listenLoopback(t)
+	lnB, urlB := listenLoopback(t)
+	lnC, urlC := listenLoopback(t)
+	peers := []string{urlA, urlB, urlC}
+	nodeA := startChaosNode(t, lnA, t.TempDir(), urlA, peers)
+	startChaosNode(t, lnB, t.TempDir(), urlB, peers)
+	startChaosNode(t, lnC, t.TempDir(), urlC, peers)
+
+	client := newChaosClient(t, urlA, urlB, urlC)
+	client.create(paperExampleJSON(t))
+	client.edit(chaosEdits[0], nil)
+	before := client.mustRequest(http.MethodGet, "/v1/sessions/"+client.id+"/report", "")
+
+	// SIGTERM-shaped shutdown of A: drain (flush + hand-off), THEN close.
+	nodeA.esrv.StartDraining()
+	if err := nodeA.esrv.DrainSessions(t.Context(), nil); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	nodeA.hsrv.Close()
+
+	after := client.mustRequest(http.MethodGet, "/v1/sessions/"+client.id+"/report", "")
+	if !bytes.Equal(before, after) {
+		t.Fatalf("report changed across hand-off:\nbefore %s\nafter  %s", before, after)
+	}
+	client.edit(chaosEdits[1], nil) // the conversation continues on the new owner
+}
+
+// TestChaosDropHandoffFaultSurfaces pins the fault seam: with hand-off
+// pushes dropped, DrainSessions reports the failure (the store still
+// holds the sessions for a storage-level takeover).
+func TestChaosDropHandoffFaultSurfaces(t *testing.T) {
+	lnA, urlA := listenLoopback(t)
+	lnB, urlB := listenLoopback(t)
+	peers := []string{urlA, urlB}
+	nodeA := startChaosNode(t, lnA, t.TempDir(), urlA, peers)
+	startChaosNode(t, lnB, t.TempDir(), urlB, peers)
+
+	client := newChaosClient(t, urlA)
+	client.create(paperExampleJSON(t))
+
+	var fault engine.FaultConfig
+	nodeA.store.SetFault(&fault)
+	fault.SetDropHandoff(true)
+	if err := nodeA.esrv.DrainSessions(t.Context(), nil); err == nil {
+		t.Fatal("dropped hand-off not reported")
+	}
+	if nodeA.store.Len() == 0 {
+		t.Fatal("store gave up the sessions although the hand-off was dropped")
+	}
+}
+
+// TestChaosExpiredStays404AfterRestart pins the durable TTL story over
+// HTTP: an expired session answers 404 before AND after a restart onto
+// the same session dir — restart must never resurrect it.
+func TestChaosExpiredStays404AfterRestart(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(77000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+
+	dir := t.TempDir()
+	eng := engine.New(engine.Config{Workers: 2})
+	t.Cleanup(eng.Close)
+	st, err := engine.OpenSessionStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := engine.NewServer(eng, engine.ServerConfig{
+		SessionTTL: time.Minute, SessionClock: clock, SessionStore: st,
+	})
+	id, _ := createSession(t, h)
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	if w := get(t, h, "/v1/sessions/"+id+"/report"); w.Code != http.StatusNotFound {
+		t.Fatalf("expired session pre-restart: status %d", w.Code)
+	}
+	st.Close()
+
+	st2, err := engine.OpenSessionStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	h2 := engine.NewServer(eng, engine.ServerConfig{
+		SessionTTL: time.Minute, SessionClock: clock, SessionStore: st2,
+	})
+	if w := get(t, h2, "/v1/sessions/"+id+"/report"); w.Code != http.StatusNotFound {
+		t.Fatalf("expired session resurrected by restart: status %d", w.Code)
+	}
+}

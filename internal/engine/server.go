@@ -35,6 +35,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/ring"
 	"repro/internal/wire"
 )
 
@@ -56,6 +57,19 @@ type ServerConfig struct {
 	SessionTTL time.Duration
 	// SessionClock overrides the registry's time source (TTL tests).
 	SessionClock func() time.Time
+	// SessionStore, when non-nil, makes sessions durable: snapshots are
+	// fsynced per committed edit batch and the unexpired sessions it
+	// recovered are restored into the registry at construction.
+	SessionStore *SessionStore
+	// SelfURL is this node's advertised base URL (e.g.
+	// "http://host:8080") on the session ring; required when Peers is
+	// set and implicitly a ring member.
+	SelfURL string
+	// Peers are the base URLs of every session-plane node. A non-empty
+	// list enables consistent-hash session routing: requests for ids
+	// another node owns answer 307 + X-Lpdag-Session-Owner unless the
+	// session is present locally (restored or handed off here).
+	Peers []string
 	// Obs, when non-nil, mounts GET /metrics (Prometheus text format,
 	// deliberately outside the MaxInFlight semaphore — a scrape must
 	// succeed while the server sheds) and registers the server-level
@@ -106,6 +120,12 @@ type Server struct {
 	activeShards atomic.Int64
 	shardsServed atomic.Uint64
 	mux          *http.ServeMux
+
+	// Session-plane routing (nil ring = single node, no redirects).
+	ring      *ring.Ring
+	self      string
+	redirects *obs.Counter
+	handoffs  *obs.Counter
 }
 
 // NewServer returns the engine's HTTP server.
@@ -123,14 +143,29 @@ func NewServer(e *Engine, cfg ServerConfig) *Server {
 		cfg.Obs = e.obsReg
 	}
 	s := &Server{eng: e, cfg: cfg, inFlight: make(chan struct{}, cfg.MaxInFlight), start: time.Now()}
+	if len(cfg.Peers) > 0 {
+		// SelfURL is implicitly a member: a peer list that omits the
+		// node itself would make it own nothing and redirect everything,
+		// including its own creates.
+		s.self = cfg.SelfURL
+		s.ring = ring.New(append(append([]string(nil), cfg.Peers...), cfg.SelfURL), 0)
+	}
 	s.sessions = NewSessionRegistry(e, SessionRegistryConfig{
 		MaxSessions: cfg.MaxSessions, TTL: cfg.SessionTTL, Clock: cfg.SessionClock,
+		Store: cfg.SessionStore,
+		OwnsID: func(id string) bool {
+			return s.ring == nil || s.ring.Owner(id) == s.self
+		},
 	})
+	if cfg.SessionStore != nil {
+		s.sessions.RestoreFromStore()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.limited(s.handleAnalyze))
 	mux.HandleFunc("POST /v1/simulate", s.limited(s.handleSimulate))
 	mux.HandleFunc("POST /v1/generate", s.limited(s.handleGenerate))
 	mux.HandleFunc("POST /v1/sessions", s.limited(s.handleSessionCreate))
+	mux.HandleFunc("POST /v1/sessions/handoff", s.limited(s.handleSessionHandoff))
 	mux.HandleFunc("GET /v1/sessions/{id}/report", s.limited(s.handleSessionReport))
 	mux.HandleFunc("POST /v1/sessions/{id}/edits", s.limited(s.handleSessionEdits))
 	mux.HandleFunc("POST /v1/sessions/{id}/admit", s.limited(s.handleSessionAdmit))
@@ -166,6 +201,10 @@ func NewServer(e *Engine, cfg ServerConfig) *Server {
 		reg.CounterFunc("lpdag_cluster_shards_served_total",
 			"Shard leases this worker finished (completed or failed).",
 			func() float64 { return float64(s.shardsServed.Load()) })
+		s.redirects = reg.Counter("lpdag_session_redirects_total",
+			"Session requests answered 307 to the owning ring member.")
+		s.handoffs = reg.Counter("lpdag_session_handoffs_total",
+			"Session snapshots accepted over POST /v1/sessions/handoff.")
 	}
 	s.mux = mux
 	return s
@@ -317,6 +356,18 @@ func ParseBackend(s string) (core.Backend, error) {
 		return core.PaperILP, nil
 	}
 	return 0, fmt.Errorf("unknown backend %q (want combinatorial | paper-ilp)", s)
+}
+
+// BackendWire renders a core.Backend in the wire spelling ParseBackend
+// accepts (the String form capitalises for display).
+func BackendWire(b core.Backend) (string, error) {
+	switch b {
+	case core.Combinatorial:
+		return "combinatorial", nil
+	case core.PaperILP:
+		return "paper-ilp", nil
+	}
+	return "", fmt.Errorf("engine: backend %v has no wire spelling", b)
 }
 
 // analyzeItem is one batch element: a task set plus optional per-request
@@ -618,17 +669,21 @@ type healthzResponse struct {
 	// need to tell nodes and builds apart from the probe alone.
 	Version       string  `json:"version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// ActiveSessions (additive, PR 9): live session count, so a drain
+	// supervisor can see hand-off progress from the probe alone.
+	ActiveSessions int `json:"active_sessions"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
 	resp := healthzResponse{
-		Status:        "ok",
-		Workers:       st.Workers,
-		QueueDepth:    st.QueueDepth,
-		ActiveShards:  s.activeShards.Load(),
-		Version:       obs.Version(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		Status:         "ok",
+		Workers:        st.Workers,
+		QueueDepth:     st.QueueDepth,
+		ActiveShards:   s.activeShards.Load(),
+		Version:        obs.Version(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		ActiveSessions: s.sessions.Len(),
 	}
 	if s.Draining() {
 		resp.Status = "draining"

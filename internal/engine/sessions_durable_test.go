@@ -1,0 +1,264 @@
+package engine_test
+
+// Durable-session registry tests: restore-on-startup, TTL tombstoning
+// across restarts, and a -race hammer over every registry entry point
+// racing the TTL sweep and a concurrent startup restore.
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fixture"
+	"repro/internal/session"
+)
+
+// durableHarness is an engine + durable registry over one session dir.
+type durableHarness struct {
+	eng *engine.Engine
+	st  *engine.SessionStore
+	reg *engine.SessionRegistry
+}
+
+func openDurable(t *testing.T, dir string, cfg engine.SessionRegistryConfig) *durableHarness {
+	t.Helper()
+	e := engine.New(engine.Config{Workers: 2})
+	t.Cleanup(e.Close)
+	st, err := engine.OpenSessionStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	cfg.Store = st
+	return &durableHarness{eng: e, st: st, reg: engine.NewSessionRegistry(e, cfg)}
+}
+
+func report(t *testing.T, reg *engine.SessionRegistry, id string) *core.Report {
+	t.Helper()
+	v, err := reg.Do(context.Background(), id,
+		func(ctx context.Context, s *session.Session) (any, error) { return s.Report(ctx) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.(*core.Report)
+}
+
+func TestSessionRegistryDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	h := openDurable(t, dir, engine.SessionRegistryConfig{})
+	id, _, err := h.reg.Create(core.Options{Cores: fixture.M, Method: core.LPILP}, fixture.TaskSet().Tasks...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A committed edit batch must be durable the moment Do returns.
+	if _, err := h.reg.Do(context.Background(), id,
+		func(ctx context.Context, s *session.Session) (any, error) {
+			return nil, s.SetCores(fixture.M + 1)
+		}); err != nil {
+		t.Fatal(err)
+	}
+	want := report(t, h.reg, id)
+	wantEpoch, _ := h.reg.Epoch(id)
+	h.st.Close() // "crash": no drain, no flush beyond per-edit appends
+
+	h2 := openDurable(t, dir, engine.SessionRegistryConfig{})
+	if n := h2.reg.RestoreFromStore(); n != 1 {
+		t.Fatalf("restored %d sessions, want 1", n)
+	}
+	if epoch, ok := h2.reg.Epoch(id); !ok || epoch != wantEpoch {
+		t.Fatalf("restored epoch %d (ok=%v), want %d", epoch, ok, wantEpoch)
+	}
+	got := report(t, h2.reg, id)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored report differs:\n got %+v\nwant %+v", got, want)
+	}
+	// Idempotent: a second restore installs nothing (epoch check).
+	if n := h2.reg.RestoreFromStore(); n != 0 {
+		t.Fatalf("second restore installed %d sessions", n)
+	}
+}
+
+func TestSessionRegistryDeleteTombstonesDurably(t *testing.T) {
+	dir := t.TempDir()
+	h := openDurable(t, dir, engine.SessionRegistryConfig{})
+	id, _, err := h.reg.Create(core.Options{Cores: fixture.M, Method: core.LPILP}, fixture.TaskSet().Tasks...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.reg.Delete(id) {
+		t.Fatal("delete reported missing")
+	}
+	h.st.Close()
+	h2 := openDurable(t, dir, engine.SessionRegistryConfig{})
+	if n := h2.reg.RestoreFromStore(); n != 0 {
+		t.Fatalf("deleted session resurrected: restored %d", n)
+	}
+	if _, err := h2.reg.Get(id); err == nil {
+		t.Fatal("deleted session found after restart")
+	}
+}
+
+func TestSessionRegistryExpiredStaysGoneAcrossRestart(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(5000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	dir := t.TempDir()
+	h := openDurable(t, dir, engine.SessionRegistryConfig{TTL: time.Minute, Clock: clock})
+	id, _, err := h.reg.Create(core.Options{Cores: fixture.M, Method: core.LPILP}, fixture.TaskSet().Tasks...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance(2 * time.Minute)
+	h.st.Close() // crash AFTER expiry but BEFORE any sweep tombstoned it
+
+	// The restore path itself must apply the TTL: the snapshot's last
+	// touch is 2 minutes old against a 1-minute TTL.
+	h2 := openDurable(t, dir, engine.SessionRegistryConfig{TTL: time.Minute, Clock: clock})
+	if n := h2.reg.RestoreFromStore(); n != 0 {
+		t.Fatalf("expired session restored: %d", n)
+	}
+	if _, err := h2.reg.Get(id); err == nil {
+		t.Fatal("expired session alive after restart")
+	}
+	h2.st.Close()
+
+	// And it tombstoned the store, so a THIRD process with expiry
+	// disabled still must not see it.
+	h3 := openDurable(t, dir, engine.SessionRegistryConfig{TTL: -1, Clock: clock})
+	if n := h3.reg.RestoreFromStore(); n != 0 {
+		t.Fatalf("tombstoned session resurrected by TTL-less restart: %d", n)
+	}
+}
+
+// TestSessionRegistryRaceHammer drives every registry entry point from
+// many goroutines — creates, edits, deletes, TTL sweeps (via a jumping
+// clock), and a concurrent restore-from-store — and relies on -race for
+// the verdict.
+func TestSessionRegistryRaceHammer(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(9000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	dir := t.TempDir()
+	// Seed the store with a few sessions for the restore goroutine to
+	// race against live traffic.
+	seedH := openDurable(t, dir, engine.SessionRegistryConfig{TTL: -1, Clock: clock})
+	for i := 0; i < 3; i++ {
+		if _, _, err := seedH.reg.Create(core.Options{Cores: 2, Method: core.FPIdeal}, fixture.TaskSet().Tasks...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seedH.st.Close()
+
+	h := openDurable(t, dir, engine.SessionRegistryConfig{
+		MaxSessions: 64, TTL: time.Minute, Clock: clock,
+	})
+	ctx := context.Background()
+	opts := core.Options{Cores: 2, Method: core.FPIdeal}
+	tasks := fixture.TaskSet().Tasks
+
+	const workers = 8
+	var wg sync.WaitGroup
+	ids := make(chan string, workers*16)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				id, _, err := h.reg.Create(opts, tasks...)
+				if err != nil {
+					continue // cap reached under load: fine
+				}
+				if _, err := h.reg.Do(ctx, id,
+					func(ctx context.Context, s *session.Session) (any, error) {
+						return nil, s.SetCores(2 + (w+i)%4)
+					}); err != nil && err != engine.ErrSessionNotFound {
+					t.Error(err)
+				}
+				select {
+				case ids <- id:
+				default:
+					h.reg.Delete(id)
+				}
+				if i%3 == 0 {
+					select {
+					case old := <-ids:
+						h.reg.Delete(old)
+					default:
+					}
+				}
+				h.reg.Len()
+				h.reg.Has(id)
+				h.reg.Epoch(id)
+			}
+		}(w)
+	}
+	// Sweep driver: jump the clock so TTL eviction races the traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			advance(7 * time.Second)
+			h.reg.Len()
+		}
+	}()
+	// Restore racer: installs the seeded snapshots mid-traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			h.reg.RestoreFromStore()
+		}
+	}()
+	// Snapshot/flush racer (the drain path).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			h.reg.SnapshotAll()
+			h.reg.FlushAll()
+		}
+	}()
+	wg.Wait()
+
+	// The store must still be coherent after the storm.
+	h.st.Close()
+	re := openDurable(t, dir, engine.SessionRegistryConfig{TTL: -1, Clock: clock})
+	restored := re.reg.RestoreFromStore()
+	if live := re.reg.Len(); live != restored {
+		t.Fatalf("restore count %d != live count %d", restored, live)
+	}
+}
+
+// TestSessionInstallStaleRejected pins last-writer-wins hand-off: a
+// snapshot at an epoch the registry already holds (or older) is
+// rejected and does not roll the session back.
+func TestSessionInstallStaleRejected(t *testing.T) {
+	h := openDurable(t, t.TempDir(), engine.SessionRegistryConfig{})
+	id, sess, err := h.reg.Create(core.Options{Cores: fixture.M, Method: core.LPILP}, fixture.TaskSet().Tasks...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := sess.Snapshot(id, time.Now().UnixNano())
+	if err := sess.SetCores(fixture.M + 1); err != nil { // advance the live epoch
+		t.Fatal(err)
+	}
+	if err := h.reg.Install(stale, true, false); err != engine.ErrStaleSnapshot {
+		t.Fatalf("stale install: %v, want ErrStaleSnapshot", err)
+	}
+	fresh := sess.Snapshot(id, time.Now().UnixNano())
+	fresh.Epoch++ // as if a newer owner pushed a later edit
+	if err := h.reg.Install(fresh, true, false); err != nil {
+		t.Fatalf("fresh install: %v", err)
+	}
+	if epoch, _ := h.reg.Epoch(id); epoch != fresh.Epoch {
+		t.Fatalf("epoch after install %d, want %d", epoch, fresh.Epoch)
+	}
+}

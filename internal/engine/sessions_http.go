@@ -16,17 +16,60 @@ package engine
 // request-shape error.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"sort"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/session"
 	"repro/internal/wire"
 )
+
+// sessionOwnerHeader names the ring member a 307 redirect points at (the
+// Location header carries the full URL; this carries just the base, so a
+// client can re-aim its whole conversation, not one request).
+const sessionOwnerHeader = "X-Lpdag-Session-Owner"
+
+// sessionEpochHeader carries the session's monotonic edit epoch on every
+// session response. A client whose connection died mid-edit compares it
+// against the epoch it last saw to decide whether the edit committed
+// before resending.
+const sessionEpochHeader = "X-Lpdag-Session-Epoch"
+
+// redirectSession answers 307 + X-Lpdag-Session-Owner when another ring
+// member owns id, and reports whether it wrote the response. Sessions
+// present locally are always served locally, whatever the ring says:
+// after a node replacement restores another node's store, custody beats
+// nominal ownership (the static peer list still names the dead address).
+func (s *Server) redirectSession(w http.ResponseWriter, r *http.Request, id string) bool {
+	if s.ring == nil || s.sessions.Has(id) {
+		return false
+	}
+	owner := s.ring.Owner(id)
+	if owner == s.self {
+		return false
+	}
+	s.redirects.Inc()
+	w.Header().Set(sessionOwnerHeader, owner)
+	w.Header().Set("Location", owner+r.URL.RequestURI())
+	w.WriteHeader(http.StatusTemporaryRedirect)
+	return true
+}
+
+// setSessionEpoch stamps the session's current edit epoch on a response
+// about to be written. Call before the body writer.
+func (s *Server) setSessionEpoch(w http.ResponseWriter, id string) {
+	if epoch, ok := s.sessions.Epoch(id); ok {
+		w.Header().Set(sessionEpochHeader, strconv.FormatUint(epoch, 10))
+	}
+}
 
 // createSessionRequest is the POST /v1/sessions body. The task set is
 // optional: admission-control sessions often start empty and admit.
@@ -82,6 +125,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, statusForSessionError(err), "create session: %v", err)
 		return
 	}
+	s.setSessionEpoch(w, id)
 	if binaryAccepted(r) {
 		s.writeFrame(w, http.StatusCreated, func(dst []byte) []byte {
 			dst = wire.AppendString(dst, id)
@@ -93,7 +137,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionReport(w http.ResponseWriter, r *http.Request) {
-	v, err := s.sessions.Do(r.Context(), r.PathValue("id"),
+	id := r.PathValue("id")
+	if s.redirectSession(w, r, id) {
+		return
+	}
+	v, err := s.sessions.Do(r.Context(), id,
 		func(ctx context.Context, sess *session.Session) (any, error) {
 			return sess.Report(ctx)
 		})
@@ -101,6 +149,7 @@ func (s *Server) handleSessionReport(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, statusForSessionError(err), "session report: %v", err)
 		return
 	}
+	s.setSessionEpoch(w, id)
 	if binaryAccepted(r) {
 		s.writeFrame(w, http.StatusOK, func(dst []byte) []byte {
 			return appendAnalyzeResultBin(dst, reportJSON(v.(*core.Report)))
@@ -203,7 +252,11 @@ func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	v, err := s.sessions.Do(r.Context(), r.PathValue("id"),
+	id := r.PathValue("id")
+	if s.redirectSession(w, r, id) {
+		return
+	}
+	v, err := s.sessions.Do(r.Context(), id,
 		func(ctx context.Context, sess *session.Session) (any, error) {
 			if err := sess.Apply(edits); err != nil {
 				return nil, err
@@ -220,9 +273,11 @@ func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
 			return rep, nil
 		})
 	if err != nil {
+		s.setSessionEpoch(w, id) // edits may have committed even when the report failed
 		s.writeError(w, statusForSessionError(err), "session edits: %v", err)
 		return
 	}
+	s.setSessionEpoch(w, id)
 	if binaryAccepted(r) {
 		s.writeFrame(w, http.StatusOK, func(dst []byte) []byte {
 			return appendAnalyzeResultBin(dst, reportJSON(v.(*core.Report)))
@@ -256,7 +311,11 @@ func (s *Server) handleSessionAdmit(w http.ResponseWriter, r *http.Request) {
 	if req.At != nil {
 		at = *req.At
 	}
-	v, err := s.sessions.Do(r.Context(), r.PathValue("id"),
+	id := r.PathValue("id")
+	if s.redirectSession(w, r, id) {
+		return
+	}
+	v, err := s.sessions.Do(r.Context(), id,
 		func(ctx context.Context, sess *session.Session) (any, error) {
 			return sess.TryAdmit(ctx, t, at)
 		})
@@ -264,6 +323,7 @@ func (s *Server) handleSessionAdmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, statusForSessionError(err), "session admit: %v", err)
 		return
 	}
+	s.setSessionEpoch(w, id)
 	rep := v.(*core.Report)
 	if binaryAccepted(r) {
 		s.writeFrame(w, http.StatusOK, func(dst []byte) []byte {
@@ -298,7 +358,11 @@ func (s *Server) handleSessionSensitivity(w http.ResponseWriter, r *http.Request
 		s.writeError(w, http.StatusBadRequest, "missing index or name")
 		return
 	}
-	v, err := s.sessions.Do(r.Context(), r.PathValue("id"),
+	id := r.PathValue("id")
+	if s.redirectSession(w, r, id) {
+		return
+	}
+	v, err := s.sessions.Do(r.Context(), id,
 		func(ctx context.Context, sess *session.Session) (any, error) {
 			i := 0
 			if req.Name != "" {
@@ -319,11 +383,121 @@ func (s *Server) handleSessionSensitivity(w http.ResponseWriter, r *http.Request
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.sessions.Delete(r.PathValue("id")) {
+	id := r.PathValue("id")
+	if s.redirectSession(w, r, id) {
+		return
+	}
+	if !s.sessions.Delete(id) {
 		s.writeError(w, http.StatusNotFound, "%v", ErrSessionNotFound)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSessionHandoff accepts a stream of 'S' snapshot frames from a
+// draining peer and installs each (marking it freshly used, persisting
+// it to this node's store). Snapshots older than a live local session's
+// epoch are rejected as stale — a late duplicate push must not roll a
+// session back. The response counts both outcomes so the sender can log
+// what landed.
+func (s *Server) handleSessionHandoff(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	rd := wire.NewReader(body, int(s.cfg.MaxBodyBytes))
+	installed, stale := 0, 0
+	for {
+		typ, payload, err := rd.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "handoff: %v", err)
+			return
+		}
+		if typ != wire.FrameSnapshot {
+			s.writeError(w, http.StatusBadRequest, "handoff: unexpected frame type %q", typ)
+			return
+		}
+		snap, err := session.DecodeSnapshot(payload)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "handoff: %v", err)
+			return
+		}
+		switch err := s.sessions.Install(snap, true, true); {
+		case err == nil:
+			s.handoffs.Inc()
+			installed++
+		case errors.Is(err, ErrStaleSnapshot):
+			stale++
+		default:
+			s.writeError(w, statusForSessionError(err), "handoff: %v", err)
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"installed": installed, "stale": stale})
+}
+
+// DrainSessions flushes every live session to the durable store and
+// hands each off to its next ring owner over POST /v1/sessions/handoff.
+// Call after StartDraining and before closing the listener; it is the
+// graceful-shutdown half of durability (kill -9 relies on the store
+// alone). Errors are aggregated, not fatal: a peer that cannot be
+// reached simply keeps its sessions in this node's store for takeover.
+func (s *Server) DrainSessions(ctx context.Context, client *http.Client) error {
+	s.sessions.FlushAll()
+	if s.ring == nil || s.ring.Len() < 2 {
+		return nil
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	snaps := s.sessions.SnapshotAll()
+	byTarget := make(map[string][]*session.Snapshot)
+	for _, snap := range snaps {
+		target := s.ring.Next(snap.ID, s.self)
+		if target == "" {
+			continue
+		}
+		byTarget[target] = append(byTarget[target], snap)
+	}
+	targets := make([]string, 0, len(byTarget))
+	for t := range byTarget {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets) // deterministic push order for tests and logs
+	var errs []error
+	for _, target := range targets {
+		if st := s.cfg.SessionStore; st != nil && st.Fault().handoffDropped() {
+			errs = append(errs, fmt.Errorf("handoff to %s: dropped (fault injection)", target))
+			continue
+		}
+		var buf []byte
+		for _, snap := range byTarget[target] {
+			payload, err := snap.Append(nil)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("encode %s: %w", snap.ID, err))
+				continue
+			}
+			buf = wire.AppendFrame(buf, wire.FrameSnapshot, payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			target+"/v1/sessions/handoff", bytes.NewReader(buf))
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		req.Header.Set("Content-Type", wire.ContentType)
+		resp, err := client.Do(req)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("handoff to %s: %w", target, err))
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			errs = append(errs, fmt.Errorf("handoff to %s: HTTP %d", target, resp.StatusCode))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // statusForSessionError maps session-layer failures onto HTTP codes.

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -267,6 +268,7 @@ func (c *coordinator) workerLoop(ctx context.Context, url string) {
 			if consecutive >= c.cfg.WorkerFailLimit {
 				return
 			}
+			c.tracker.DialRetry()
 			select {
 			case <-ctx.Done():
 				return
@@ -300,16 +302,30 @@ func (c *coordinator) workerLoop(ctx context.Context, url string) {
 		if consecutive >= c.cfg.WorkerFailLimit {
 			return
 		}
+		if consecutive > 0 {
+			// A dispatch just failed: back off before redialing this
+			// worker, exactly like a failed health probe. Hammering a
+			// worker that is crash-looping or saturated only turns one
+			// failure into WorkerFailLimit of them within milliseconds.
+			c.tracker.DialRetry()
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(c.backoff(consecutive)):
+			}
+		}
 	}
 }
 
-// backoff spaces out retries against an unhealthy worker.
+// backoff spaces out retries against an unhealthy worker: capped
+// exponential, jittered so workers probed by many coordinator loops do
+// not see synchronized retry bursts.
 func (c *coordinator) backoff(attempt int) time.Duration {
 	d := 100 * time.Millisecond << (attempt - 1)
-	if d > 2*time.Second {
+	if d > 2*time.Second || d <= 0 {
 		d = 2 * time.Second
 	}
-	return d
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // checkHealth probes a worker's /healthz; draining=true means the node

@@ -57,6 +57,7 @@ type Tracker struct {
 	failures    *obs.Counter
 	handbacks   *obs.Counter
 	requeues    *obs.Counter
+	dialRetries *obs.Counter
 }
 
 // NewTracker builds the state machine over the given shard point lists.
@@ -102,12 +103,23 @@ func (t *Tracker) Instrument(reg *obs.Registry) {
 		"Shard leases returned by draining workers (no retry consumed).")
 	requeues := reg.Counter("lpdag_cluster_lease_requeues_total",
 		"Shard leases put back on the pending queue for another worker.")
+	dialRetries := reg.Counter("lpdag_cluster_dial_retries_total",
+		"Worker dispatch/health retries the coordinator backed off before.")
 	reg.GaugeFunc("lpdag_cluster_points_outstanding",
 		"Points of the current cluster campaign not yet streamed back.",
 		func() float64 { return float64(t.Outstanding()) })
 	t.mu.Lock()
 	t.grants, t.completions, t.failures, t.handbacks, t.requeues =
 		grants, completions, failures, handbacks, requeues
+	t.dialRetries = dialRetries
+	t.mu.Unlock()
+}
+
+// DialRetry counts one backed-off retry against an unreachable or
+// failing worker (health probe or shard dispatch).
+func (t *Tracker) DialRetry() {
+	t.mu.Lock()
+	t.dialRetries.Inc()
 	t.mu.Unlock()
 }
 

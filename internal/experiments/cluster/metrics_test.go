@@ -53,6 +53,7 @@ var metricsCatalog = []string{
 	"lpdag_cluster_lease_failures_total|counter||Shard leases that died (worker failure, stall, protocol error).",
 	"lpdag_cluster_lease_grants_total|counter||Shard leases granted to workers.",
 	"lpdag_cluster_lease_handbacks_total|counter||Shard leases returned by draining workers (no retry consumed).",
+	"lpdag_cluster_dial_retries_total|counter||Worker dispatch/health retries the coordinator backed off before.",
 	"lpdag_cluster_lease_requeues_total|counter||Shard leases put back on the pending queue for another worker.",
 	"lpdag_cluster_points_outstanding|gauge||Points of the current cluster campaign not yet streamed back.",
 	"lpdag_cluster_shards_served_total|counter||Shard leases this worker finished (completed or failed).",
@@ -71,7 +72,12 @@ var metricsCatalog = []string{
 	"lpdag_http_slow_requests_total|counter||Requests slower than the configured slow-request threshold.",
 	"lpdag_http_write_errors_total|counter||Responses lost to encode or mid-body write failures.",
 	"lpdag_server_draining|gauge||1 while SIGTERM drain is in progress, else 0.",
+	"lpdag_session_fsync_errors_total|counter||Durable session store append/fsync failures (durability degraded, serving continues).",
 	"lpdag_session_gate_wait_seconds|histogram||Time a session operation waited on its per-session serialization gate.",
+	"lpdag_session_handoffs_total|counter||Session snapshots accepted over POST /v1/sessions/handoff.",
+	"lpdag_session_redirects_total|counter||Session requests answered 307 to the owning ring member.",
+	"lpdag_session_restores_total|counter||Sessions restored from the durable store at startup.",
+	"lpdag_session_snapshots_total|counter||Session snapshots durably appended to the session store.",
 	"lpdag_sessions_active|gauge||Live analysis sessions after sweeping expired ones.",
 	"lpdag_sessions_created_total|counter||Analysis sessions created.",
 	"lpdag_sessions_expired_total|counter||Analysis sessions evicted by the TTL sweep.",

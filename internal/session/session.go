@@ -40,6 +40,13 @@ type Session struct {
 	tasks []*model.Task
 	an    *rta.Analyzer
 	rep   *core.Report // memoized committed report; nil when stale
+
+	// epoch counts committed mutations (task edits and option changes),
+	// starting at 1 so that 0 can mean "never" for consumers tracking
+	// the last epoch they saw (e.g. the durable store). Queries never
+	// bump it; a rolled-back Apply may skip values but the counter stays
+	// monotonic, which is all snapshot staleness comparison needs.
+	epoch uint64
 }
 
 // New validates the options and initial tasks (highest priority first;
@@ -53,13 +60,22 @@ func New(opts core.Options, tasks ...*model.Task) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Session{opts: opts, an: an}
+	s := &Session{opts: opts, an: an, epoch: 1}
 	for _, t := range tasks {
 		if err := s.addLocked(t, len(s.tasks)); err != nil {
 			return nil, err
 		}
 	}
 	return s, nil
+}
+
+// Epoch returns the monotonic edit epoch: it advances on every
+// committed mutation (task edits and option changes) and never on
+// queries, so two snapshots of the same session are ordered by it.
+func (s *Session) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
 }
 
 // Options returns the session's current analysis options.
@@ -126,6 +142,7 @@ func (s *Session) addLocked(t *model.Task, at int) error {
 	copy(s.tasks[at+1:], s.tasks[at:])
 	s.tasks[at] = t
 	s.rep = nil
+	s.epoch++
 	return nil
 }
 
@@ -152,6 +169,7 @@ func (s *Session) removeLocked(i int) (*model.Task, error) {
 	t := s.tasks[i]
 	s.tasks = append(s.tasks[:i], s.tasks[i+1:]...)
 	s.rep = nil
+	s.epoch++
 	return t, nil
 }
 
@@ -180,6 +198,7 @@ func (s *Session) setPriorityLocked(from, to int) error {
 	copy(s.tasks[to+1:], s.tasks[to:])
 	s.tasks[to] = t
 	s.rep = nil
+	s.epoch++
 	return nil
 }
 
@@ -213,6 +232,7 @@ func (s *Session) setOptionsLocked(opts core.Options) error {
 	}
 	s.opts = opts
 	s.rep = nil
+	s.epoch++
 	return nil
 }
 

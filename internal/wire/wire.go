@@ -8,6 +8,9 @@
 //	'R' <uvarint len> <payload>   one result record
 //	'H' <uvarint 0>               heartbeat (keepalive, no payload)
 //	'E' <uvarint len> <utf-8>     terminal error message; ends the stream
+//	'S' <uvarint len> <payload>   one session snapshot (durable store
+//	                              records and the hand-off endpoint)
+//	'D' <uvarint len> <id>        session tombstone (durable store only)
 //
 // The payload encoding belongs to the endpoint (the campaign shard
 // stream carries binary PointResult records, the analyze and session
@@ -53,6 +56,8 @@ const (
 	FrameResult    = byte('R')
 	FrameHeartbeat = byte('H')
 	FrameError     = byte('E')
+	FrameSnapshot  = byte('S')
+	FrameDelete    = byte('D')
 )
 
 // HeartbeatFrame is the constant encoding of a heartbeat frame.
@@ -88,7 +93,7 @@ func (r *Reader) ReadFrame() (typ byte, payload []byte, err error) {
 		return 0, nil, err // io.EOF here is a clean end of stream
 	}
 	switch typ {
-	case FrameResult, FrameHeartbeat, FrameError:
+	case FrameResult, FrameHeartbeat, FrameError, FrameSnapshot, FrameDelete:
 	default:
 		return 0, nil, fmt.Errorf("wire: unknown frame type 0x%02x", typ)
 	}
@@ -114,6 +119,11 @@ func unexpectedEOF(err error) error {
 		return io.ErrUnexpectedEOF
 	}
 	return err
+}
+
+// AppendUvarint appends v as an unsigned varint.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
 }
 
 // AppendString appends a length-prefixed string.

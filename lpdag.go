@@ -288,6 +288,17 @@ type (
 	SessionRegistry = engine.SessionRegistry
 	// SessionRegistryConfig bounds a SessionRegistry.
 	SessionRegistryConfig = engine.SessionRegistryConfig
+	// SessionSnapshot is the canonical binary-serializable state of a
+	// Session (id, options, ordered task set, edit epoch, last touch);
+	// restoring one yields a Session whose Report is bit-identical.
+	SessionSnapshot = session.Snapshot
+	// SessionStore is the crash-safe on-disk session log behind
+	// lpdag-serve -session-dir (fsync per committed edit batch,
+	// torn-tail-tolerant recovery, rename-based compaction).
+	SessionStore = engine.SessionStore
+	// SessionFaultConfig injects storage and hand-off faults into a
+	// SessionStore for crash-tolerance tests.
+	SessionFaultConfig = engine.FaultConfig
 )
 
 // NewSession validates the options and initial tasks (highest priority
@@ -300,6 +311,19 @@ func NewSession(opts Options, tasks ...*Task) (*Session, error) {
 // the engine's cache and worker pool.
 func NewSessionRegistry(e *Engine, cfg SessionRegistryConfig) *SessionRegistry {
 	return engine.NewSessionRegistry(e, cfg)
+}
+
+// OpenSessionStore opens (creating if needed) the durable session log
+// in dir, recovering every intact snapshot and truncating a torn tail
+// left by a crash mid-append.
+func OpenSessionStore(dir string) (*SessionStore, error) {
+	return engine.OpenSessionStore(dir)
+}
+
+// RestoreSession rebuilds a live Session from a snapshot; its Report is
+// bit-identical to the session the snapshot was taken from.
+func RestoreSession(snap *SessionSnapshot) (*Session, error) {
+	return session.Restore(snap)
 }
 
 // Service types (see internal/engine): the long-running concurrent
