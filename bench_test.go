@@ -612,3 +612,51 @@ func BenchmarkServeAnalyze(b *testing.B) { benchServeAnalyze(b, "") }
 func BenchmarkServeAnalyzeBinary(b *testing.B) {
 	benchServeAnalyze(b, "application/x-lpdag-bin")
 }
+
+// sessionRepairBenchTasks is the 16-task session workload with a
+// blocking-heavy 17th task at the lowest priority: its single long NPR
+// inflates the Δ blocking term of every task above, pushing the set
+// unschedulable, and splitting it is the repair. This is the
+// representative repair workload — a big set where one placement is
+// wrong — not a pathological search space.
+func sessionRepairBenchTasks(b *testing.B) []*Task {
+	tasks := sessionBenchTasks(b)
+	var bld GraphBuilder
+	bld.AddNode(5000)
+	return append(tasks, &Task{Name: "blocker", G: bld.MustBuild(),
+		Deadline: 100000, Period: 100000})
+}
+
+// BenchmarkSessionRepair measures the greedy repair search end to end
+// on a 17-task LP-ILP session: candidate generation, incremental
+// re-analysis of each placement, and result assembly, in query mode
+// (apply=false) so every iteration searches from the same failing
+// state. lpdag-bench gates this with the standing -max-repair-search-ns
+// budget — repair is an interactive verb (the REPL `fix` command), so
+// it gets an absolute latency ceiling like the durable-edit path.
+func BenchmarkSessionRepair(b *testing.B) {
+	tasks := sessionRepairBenchTasks(b)
+	s, err := NewSession(Options{Cores: 8, Method: LPILP}, tasks...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	rep, err := s.Report(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Schedulable {
+		b.Fatal("repair bench workload must start unschedulable")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Repair(ctx, RepairConfig{}, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Fixed {
+			b.Fatal("repair bench workload must be fixable")
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+// Tests of the REPL `fix` command: the repair search over the session
+// backend, local and remote (the remote path is the acceptance check
+// that the REPL and POST /v1/sessions/{id}/repair resolve the same
+// deterministic transform sequence — the remote REPL is a thin client
+// of that endpoint).
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// blockedREPLSet is the pinned unschedulable fixture: on two cores
+// under LP-ILP, lo's single 200-long NPR blocks hi past its deadline;
+// splitting it is the repair.
+const blockedREPLSet = `{"tasks":[
+  {"name":"hi","wcet":[5,5],"edges":[[0,1]],"deadline":25,"period":40},
+  {"name":"lo","wcet":[200],"edges":[],"deadline":900,"period":1000}
+]}`
+
+const fixScript = `report
+fix
+tasks
+fix exhaustive
+fix apply
+report
+quit
+`
+
+func runFixREPL(t *testing.T, extra ...string) (string, int) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "set.json")
+	if err := os.WriteFile(path, []byte(blockedREPLSet), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"-session", "-m", "2", "-method", "lp-ilp", "-f", path}, extra...)
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(fixScript), &out, &errb)
+	if s := errb.String(); s != "" {
+		t.Fatalf("stderr not empty: %s", s)
+	}
+	return out.String(), code
+}
+
+func TestSessionREPLFix(t *testing.T) {
+	out, code := runFixREPL(t)
+	if code != 0 {
+		t.Fatalf("exit %d (applied fix must leave the set schedulable):\n%s", code, out)
+	}
+	for _, want := range []string{
+		"NOT SCHEDULABLE",                 // initial report
+		"FIXED in",                        // fix found a repair
+		"split lo at",                     // the expected transform family
+		"not applied",                     // plain fix is a query
+		"applied; session is schedulable", // fix apply commits
+		"SCHEDULABLE",                     // final report
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The query `fix` must not commit: the `tasks` dump after it still
+	// shows the unsplit 200-volume task.
+	if !strings.Contains(out, "vol=200") {
+		t.Errorf("fix query mutated the session (no vol=200 task left):\n%s", out)
+	}
+}
+
+func TestSessionREPLFixBadArgs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "set.json")
+	if err := os.WriteFile(path, []byte(blockedREPLSet), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	run([]string{"-session", "-m", "2", "-f", path},
+		strings.NewReader("fix sideways\nquit\n"), &out, &errb)
+	if !strings.Contains(errb.String(), "usage: fix") {
+		t.Errorf("bad fix args not rejected: %s", errb.String())
+	}
+}
+
+// TestSessionREPLFixRemoteMatchesLocal is the acceptance criterion:
+// the whole fix conversation — search, verdicts, transform sequences,
+// apply — prints byte-for-byte the same against a live server (where
+// fix is a POST /repair) as against the in-process session.
+func TestSessionREPLFixRemoteMatchesLocal(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 2})
+	defer eng.Close()
+	srv := httptest.NewServer(engine.NewServer(eng, engine.ServerConfig{SessionTTL: -1}))
+	defer srv.Close()
+
+	local, localCode := runFixREPL(t)
+	remote, remoteCode := runFixREPL(t, "-server", srv.URL)
+	if localCode != remoteCode {
+		t.Fatalf("exit codes differ: local %d, remote %d", localCode, remoteCode)
+	}
+	if local != remote {
+		t.Fatalf("remote fix diverged from local:\n--- local ---\n%s\n--- remote ---\n%s", local, remote)
+	}
+	if !strings.Contains(local, "FIXED in") {
+		t.Fatalf("script found no fix:\n%s", local)
+	}
+}

@@ -21,6 +21,7 @@
 //	cores <m>                   change the core count
 //	method <fp-ideal|lp-ilp|lp-max>
 //	sensitivity <index|name>    per-task WCET headroom (permille)
+//	fix [exhaustive] [apply]    search NPR placements that repair an unschedulable set
 //	save <file>                 write the current set as JSON
 //	quit
 //
@@ -42,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/repair"
 	"repro/internal/session"
 )
 
@@ -286,6 +288,18 @@ func runSession(opts core.Options, ts *model.TaskSet, servers string, stdin io.R
 				continue
 			}
 			fmt.Fprintf(stdout, "task %d sustains WCET × %d.%03d\n", i, permille/1000, permille%1000)
+		case "fix":
+			cfg, apply, err := parseFixArgs(rest)
+			if err != nil {
+				fmt.Fprintf(stderr, "error: %v\n", err)
+				continue
+			}
+			res, err := sess.Repair(ctx, cfg, apply)
+			if err != nil {
+				fmt.Fprintf(stderr, "error: %v\n", err)
+				continue
+			}
+			printRepair(stdout, res, apply)
 		case "save":
 			if rest == "" {
 				fmt.Fprintf(stderr, "error: usage: save <file>\n")
@@ -322,9 +336,59 @@ const sessionHelp = `commands:
   cores <m>                  change the core count
   method <fp-ideal|lp-ilp|lp-max>
   sensitivity <index|name>   per-task WCET headroom (permille)
+  fix [exhaustive] [apply]   search NPR placements that repair an unschedulable set
   save <file>                write the current set as JSON
   quit
 `
+
+// parseFixArgs interprets the `fix` command's tokens: `exhaustive`
+// switches strategy, `apply` commits a full fix. Defaults stay zero so
+// local and remote backends resolve identical search parameters.
+func parseFixArgs(rest string) (cfg repair.Config, apply bool, err error) {
+	for _, tok := range strings.Fields(rest) {
+		switch tok {
+		case "apply":
+			apply = true
+		case "greedy":
+			cfg.Strategy = repair.Greedy
+		case "exhaustive":
+			cfg.Strategy = repair.Exhaustive
+		default:
+			return cfg, false, fmt.Errorf("usage: fix [greedy|exhaustive] [apply]")
+		}
+	}
+	return cfg, apply, nil
+}
+
+// printRepair renders a repair result for the REPL.
+func printRepair(stdout io.Writer, res *repair.Result, apply bool) {
+	if res.Fixed && len(res.Transforms) == 0 {
+		fmt.Fprintf(stdout, "already schedulable (nothing to fix)\n")
+		return
+	}
+	if res.Fixed {
+		fmt.Fprintf(stdout, "FIXED in %d transform(s), %d candidate(s) searched:\n",
+			len(res.Transforms), res.Candidates)
+		for i, tr := range res.Transforms {
+			fmt.Fprintf(stdout, "  %d. %s\n", i+1, tr)
+		}
+		if apply {
+			fmt.Fprintf(stdout, "applied; session is schedulable\n")
+		} else {
+			fmt.Fprintf(stdout, "not applied (rerun with `fix apply` to commit)\n")
+		}
+		return
+	}
+	note := ""
+	if res.Stopped {
+		note = "; search budget struck"
+	}
+	fmt.Fprintf(stdout, "NO FIX found in %d candidate(s)%s: best leaves %d of %d failing task(s), slack %d -> %d\n",
+		res.Candidates, note, res.FailingAfter, res.FailingBefore, res.SlackBefore, res.SlackAfter)
+	for i, tr := range res.Transforms {
+		fmt.Fprintf(stdout, "  %d. %s\n", i+1, tr)
+	}
+}
 
 // sessionExit computes the final verdict for the exit status.
 func sessionExit(ctx context.Context, sess sessionBackend, stderr io.Writer) int {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/repair"
 	"repro/internal/session"
 )
 
@@ -46,6 +47,7 @@ type sessionBackend interface {
 	Report(ctx context.Context) (*core.Report, error)
 	TryAdmit(ctx context.Context, t *model.Task, at int) (*core.Report, error)
 	Sensitivity(ctx context.Context, i, maxPermille int) (int, error)
+	Repair(ctx context.Context, cfg repair.Config, apply bool) (*repair.Result, error)
 }
 
 var _ sessionBackend = (*session.Session)(nil)
@@ -361,6 +363,85 @@ func (rs *remoteSession) Sensitivity(ctx context.Context, i, maxPermille int) (i
 	err := rs.do(http.MethodPost, "/v1/sessions/"+rs.id+"/sensitivity",
 		map[string]any{"index": i, "max_permille": maxPermille}, &resp)
 	return resp.Permille, err
+}
+
+// Repair runs the server-side placement search. The response carries
+// the transform sequence, so a server-applied repair can be replayed
+// onto the local task mirror with repair.Apply; Result.Tasks is left
+// nil (the REPL prints transforms and the lifted report, not tasks).
+func (rs *remoteSession) Repair(ctx context.Context, cfg repair.Config, apply bool) (*repair.Result, error) {
+	body := map[string]any{"strategy": cfg.Strategy.String(), "apply": apply}
+	if cfg.MaxSteps > 0 {
+		body["max_steps"] = cfg.MaxSteps
+	}
+	if len(cfg.Budgets) > 0 {
+		body["budgets"] = cfg.Budgets
+	}
+	if cfg.Coarsen {
+		body["coarsen"] = true
+	}
+	if cfg.Reprioritize {
+		body["reprioritize"] = true
+	}
+	if cfg.Beam > 0 {
+		body["beam"] = cfg.Beam
+	}
+	if cfg.MaxCandidates > 0 {
+		body["max_candidates"] = cfg.MaxCandidates
+	}
+	if cfg.Seed != 0 {
+		body["seed"] = cfg.Seed
+	}
+	var resp struct {
+		Fixed         bool  `json:"fixed"`
+		Stopped       bool  `json:"stopped"`
+		Applied       bool  `json:"applied"`
+		Candidates    int   `json:"candidates"`
+		FailingBefore int   `json:"failing_before"`
+		FailingAfter  int   `json:"failing_after"`
+		SlackBefore   int64 `json:"slack_before"`
+		SlackAfter    int64 `json:"slack_after"`
+		Transforms    []struct {
+			Op     string `json:"op"`
+			Task   string `json:"task"`
+			MaxNPR int64  `json:"max_npr"`
+			To     int    `json:"to"`
+		} `json:"transforms"`
+		Report json.RawMessage `json:"report"`
+	}
+	if err := rs.do(http.MethodPost, "/v1/sessions/"+rs.id+"/repair", body, &resp); err != nil {
+		return nil, err
+	}
+	res := &repair.Result{
+		Fixed:         resp.Fixed,
+		Stopped:       resp.Stopped,
+		Candidates:    resp.Candidates,
+		FailingBefore: resp.FailingBefore,
+		FailingAfter:  resp.FailingAfter,
+		SlackBefore:   resp.SlackBefore,
+		SlackAfter:    resp.SlackAfter,
+		Transforms:    make([]repair.Transform, len(resp.Transforms)),
+	}
+	for i, t := range resp.Transforms {
+		op, err := repair.ParseOp(t.Op)
+		if err != nil {
+			return nil, err
+		}
+		res.Transforms[i] = repair.Transform{Op: op, Task: t.Task, MaxNPR: t.MaxNPR, To: t.To}
+	}
+	rep, err := rs.coreReport(resp.Report)
+	if err != nil {
+		return nil, err
+	}
+	res.Report = rep
+	if resp.Applied {
+		tasks, err := repair.Apply(rs.tasks, res.Transforms)
+		if err != nil {
+			return nil, fmt.Errorf("replaying applied repair onto local mirror: %w", err)
+		}
+		rs.tasks = tasks
+	}
+	return res, nil
 }
 
 // Close drops the server-side session (best effort: TTL expiry cleans

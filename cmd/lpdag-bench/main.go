@@ -82,7 +82,7 @@ type Trajectory struct {
 }
 
 // DefaultBench is the tracked benchmark set.
-const DefaultBench = "^(BenchmarkAnalyzePoint|BenchmarkCampaignThroughput|BenchmarkEngineUncachedSweep|BenchmarkEngineCachedSweep|BenchmarkSessionEdit|BenchmarkSessionEditDurable|BenchmarkSessionEditFullReanalysis|BenchmarkSessionAdmitProbe|BenchmarkServeAnalyze|BenchmarkServeAnalyzeBinary)$"
+const DefaultBench = "^(BenchmarkAnalyzePoint|BenchmarkCampaignThroughput|BenchmarkEngineUncachedSweep|BenchmarkEngineCachedSweep|BenchmarkSessionEdit|BenchmarkSessionEditDurable|BenchmarkSessionEditFullReanalysis|BenchmarkSessionAdmitProbe|BenchmarkSessionRepair|BenchmarkServeAnalyze|BenchmarkServeAnalyzeBinary)$"
 
 // DefaultMaxCampaignAllocs is the standing allocation budget of the
 // serving data plane: BenchmarkCampaignThroughput (one full campaign —
@@ -104,6 +104,18 @@ const DefaultMaxCampaignAllocs = 90000
 // going quadratic.
 const DefaultMaxDurableEditNs = 25_000_000
 
+// DefaultMaxRepairSearchNs is the standing latency budget of the
+// repair engine's greedy path: BenchmarkSessionRepair (one full greedy
+// search over the 17-task blocked session, query mode) may not exceed
+// this many ns/op. Repair backs an interactive verb (the REPL `fix`
+// command and POST /repair), so it gets an absolute ceiling rather
+// than a relative baseline: the search currently lands well under
+// 0.1ms, and the 10ms budget catches structural blow-ups — candidate
+// generation going quadratic, the incremental analyzer losing its
+// checkpoint reuse under repair's task rewrites — that machine
+// variation cannot explain.
+const DefaultMaxRepairSearchNs = 10_000_000
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -124,6 +136,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			"standing allocs/op budget for CampaignThroughput (0 disables)")
 		maxDurableEditNs = fs.Float64("max-durable-edit-ns", DefaultMaxDurableEditNs,
 			"standing ns/op budget for SessionEditDurable (0 disables)")
+		maxRepairSearchNs = fs.Float64("max-repair-search-ns", DefaultMaxRepairSearchNs,
+			"standing ns/op budget for SessionRepair's greedy search (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -174,6 +188,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		status = 1
 	}
 	for _, over := range CheckDurabilityBudget(entry, *maxDurableEditNs) {
+		fmt.Fprintf(stderr, "lpdag-bench: BUDGET: %s\n", over)
+		status = 1
+	}
+	for _, over := range CheckRepairBudget(entry, *maxRepairSearchNs) {
 		fmt.Fprintf(stderr, "lpdag-bench: BUDGET: %s\n", over)
 		status = 1
 	}
@@ -323,6 +341,23 @@ func CheckDurabilityBudget(e Entry, maxNs float64) []string {
 	if m, ok := e.Benchmarks["SessionEditDurable"]; ok && m.NsPerOp > maxNs {
 		out = append(out, fmt.Sprintf(
 			"SessionEditDurable %.4g ns/op exceeds the %.4g ns fsync budget: something structural joined the durable commit path",
+			m.NsPerOp, maxNs))
+	}
+	return out
+}
+
+// CheckRepairBudget enforces the repair engine's standing interactive
+// latency budget: SessionRepair (one greedy search in query mode) ns/op
+// at or under maxNs. Returns violation descriptions; empty when the
+// gate passes, the benchmark is absent, or the budget is 0.
+func CheckRepairBudget(e Entry, maxNs float64) []string {
+	if maxNs <= 0 {
+		return nil
+	}
+	var out []string
+	if m, ok := e.Benchmarks["SessionRepair"]; ok && m.NsPerOp > maxNs {
+		out = append(out, fmt.Sprintf(
+			"SessionRepair %.4g ns/op exceeds the %.4g ns interactive budget: the greedy search path regressed structurally",
 			m.NsPerOp, maxNs))
 	}
 	return out

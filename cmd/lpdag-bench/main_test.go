@@ -157,3 +157,25 @@ func TestCheckDurabilityBudget(t *testing.T) {
 		t.Errorf("absent benchmark flagged: %v", v)
 	}
 }
+
+func TestCheckRepairBudget(t *testing.T) {
+	entry := func(ns float64) Entry {
+		return Entry{Benchmarks: map[string]Measurement{
+			"SessionRepair": {NsPerOp: ns, AllocsPerOp: 100},
+		}}
+	}
+	if v := CheckRepairBudget(entry(10e6), 10e6); len(v) != 0 {
+		t.Errorf("at-budget entry flagged: %v", v)
+	}
+	if v := CheckRepairBudget(entry(10e6+1), 10e6); len(v) != 1 {
+		t.Errorf("over-budget entry not flagged: %v", v)
+	}
+	// 0 disables the gate entirely.
+	if v := CheckRepairBudget(entry(1e12), 0); len(v) != 0 {
+		t.Errorf("disabled gate still flagged: %v", v)
+	}
+	// A partial -bench run without the benchmark can't judge.
+	if v := CheckRepairBudget(Entry{Benchmarks: map[string]Measurement{}}, 10e6); len(v) != 0 {
+		t.Errorf("absent benchmark flagged: %v", v)
+	}
+}

@@ -170,6 +170,7 @@ func NewServer(e *Engine, cfg ServerConfig) *Server {
 	mux.HandleFunc("POST /v1/sessions/{id}/edits", s.limited(s.handleSessionEdits))
 	mux.HandleFunc("POST /v1/sessions/{id}/admit", s.limited(s.handleSessionAdmit))
 	mux.HandleFunc("POST /v1/sessions/{id}/sensitivity", s.limited(s.handleSessionSensitivity))
+	mux.HandleFunc("POST /v1/sessions/{id}/repair", s.limited(s.handleSessionRepair))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.limited(s.handleSessionDelete))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)

@@ -125,3 +125,68 @@ func decodeAnalyzeResultBin(d *wire.Dec) (analyzeResult, error) {
 	}
 	return r, d.Err()
 }
+
+// maxBinTransforms bounds the decoded transform count of a repair
+// result; real sequences are MaxSteps (single digits) long.
+const maxBinTransforms = 1 << 16
+
+// appendRepairResultBin appends the binary form of one repairResponse:
+// bools fixed, stopped, applied; zigzag candidates, failing_before,
+// failing_after, slack_before, slack_after; a uvarint transform count
+// with per transform string op, string task, zigzag max_npr, zigzag
+// to; then the report (appendAnalyzeResultBin).
+func appendRepairResultBin(dst []byte, r repairResponse) []byte {
+	dst = appendBool(dst, r.Fixed)
+	dst = appendBool(dst, r.Stopped)
+	dst = appendBool(dst, r.Applied)
+	dst = wire.AppendZigzag(dst, int64(r.Candidates))
+	dst = wire.AppendZigzag(dst, int64(r.FailingBefore))
+	dst = wire.AppendZigzag(dst, int64(r.FailingAfter))
+	dst = wire.AppendZigzag(dst, r.SlackBefore)
+	dst = wire.AppendZigzag(dst, r.SlackAfter)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Transforms)))
+	for _, t := range r.Transforms {
+		dst = wire.AppendString(dst, t.Op)
+		dst = wire.AppendString(dst, t.Task)
+		dst = wire.AppendZigzag(dst, t.MaxNPR)
+		dst = wire.AppendZigzag(dst, int64(t.To))
+	}
+	return appendAnalyzeResultBin(dst, r.Report)
+}
+
+// decodeRepairResultBin consumes one repairResponse from d, the
+// inverse of appendRepairResultBin.
+func decodeRepairResultBin(d *wire.Dec) (repairResponse, error) {
+	var r repairResponse
+	r.Fixed = d.Byte() != 0
+	r.Stopped = d.Byte() != 0
+	r.Applied = d.Byte() != 0
+	r.Candidates = int(d.Zigzag())
+	r.FailingBefore = int(d.Zigzag())
+	r.FailingAfter = int(d.Zigzag())
+	r.SlackBefore = d.Zigzag()
+	r.SlackAfter = d.Zigzag()
+	n := d.Uvarint()
+	if d.Err() == nil && n > maxBinTransforms {
+		return r, fmt.Errorf("binary result: transform count %d exceeds limit %d", n, maxBinTransforms)
+	}
+	if d.Err() == nil && n > 0 {
+		r.Transforms = make([]transformJSON, n)
+		for i := range r.Transforms {
+			t := &r.Transforms[i]
+			t.Op = d.String(maxBinStringBytes)
+			t.Task = d.String(maxBinStringBytes)
+			t.MaxNPR = d.Zigzag()
+			t.To = int(d.Zigzag())
+			if d.Err() != nil {
+				break
+			}
+		}
+	}
+	rep, err := decodeAnalyzeResultBin(d)
+	if err != nil {
+		return r, err
+	}
+	r.Report = rep
+	return r, d.Err()
+}

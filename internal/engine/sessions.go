@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/repair"
 	"repro/internal/session"
 )
 
@@ -80,6 +81,13 @@ type SessionRegistry struct {
 	fsyncErrs *obs.Counter
 	gateWait  *obs.Histogram
 
+	// Repair-search metrics (PR 10): evaluated candidate placements,
+	// searches that found a schedulable-flipping sequence, and
+	// end-to-end search duration.
+	repairCandidates *obs.Counter
+	repairFlips      *obs.Counter
+	repairDuration   *obs.Histogram
+
 	mu       sync.Mutex
 	sessions map[string]*sessionEntry
 }
@@ -133,11 +141,32 @@ func NewSessionRegistry(e *Engine, cfg SessionRegistryConfig) *SessionRegistry {
 		r.gateWait = reg.Histogram("lpdag_session_gate_wait_seconds",
 			"Time a session operation waited on its per-session serialization gate.",
 			obs.LatencyBuckets)
+		r.repairCandidates = reg.Counter("lpdag_repair_candidates_total",
+			"Candidate placements evaluated by session repair searches.")
+		r.repairFlips = reg.Counter("lpdag_repair_flips_total",
+			"Repair searches that found a transform sequence flipping the set schedulable.")
+		r.repairDuration = reg.Histogram("lpdag_repair_search_seconds",
+			"End-to-end session repair search duration (gate and queue wait excluded).",
+			obs.LatencyBuckets)
 		reg.GaugeFunc("lpdag_sessions_active",
 			"Live analysis sessions after sweeping expired ones.",
 			func() float64 { return float64(r.Len()) })
 	}
 	return r
+}
+
+// ObserveRepair records one finished repair search: its candidate
+// count, whether it flipped the set schedulable, and its duration.
+// No-op without an observability registry.
+func (r *SessionRegistry) ObserveRepair(res *repair.Result, d time.Duration) {
+	if res == nil || r.repairCandidates == nil {
+		return
+	}
+	r.repairCandidates.Add(uint64(res.Candidates))
+	if res.Fixed && len(res.Transforms) > 0 {
+		r.repairFlips.Inc()
+	}
+	r.repairDuration.Observe(d.Seconds())
 }
 
 // Len returns the live session count (after sweeping expired ones).

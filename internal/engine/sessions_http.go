@@ -8,6 +8,7 @@ package engine
 //	POST   /v1/sessions/{id}/edits        apply an edit batch, return the report
 //	POST   /v1/sessions/{id}/admit        admission probe (no commit)
 //	POST   /v1/sessions/{id}/sensitivity  per-task WCET headroom
+//	POST   /v1/sessions/{id}/repair       NPR-placement repair search
 //	DELETE /v1/sessions/{id}              drop the session
 //
 // Unknown and expired ids both 404 (expiry deletes, so the server
@@ -25,9 +26,12 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/ppp"
+	"repro/internal/repair"
 	"repro/internal/session"
 	"repro/internal/wire"
 )
@@ -380,6 +384,145 @@ func (s *Server) handleSessionSensitivity(w http.ResponseWriter, r *http.Request
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{"permille": v.(int)})
+}
+
+// sessionRepairRequest is the POST /v1/sessions/{id}/repair body. The
+// zero value runs the default greedy search as a pure query.
+type sessionRepairRequest struct {
+	Strategy      string  `json:"strategy,omitempty"`       // greedy (default) | exhaustive
+	MaxSteps      int     `json:"max_steps,omitempty"`      // transform-sequence cap, default 4
+	Budgets       []int64 `json:"budgets,omitempty"`        // split/coarsen NPR caps, default derived
+	Coarsen       bool    `json:"coarsen,omitempty"`        // admit coarsen transforms
+	Reprioritize  bool    `json:"reprioritize,omitempty"`   // admit priority moves
+	Beam          int     `json:"beam,omitempty"`           // greedy frontier width, default 4
+	MaxCandidates int     `json:"max_candidates,omitempty"` // anytime candidate cap, default 4096
+	Seed          int64   `json:"seed,omitempty"`           // tie-break pin
+	TimeoutMs     int     `json:"timeout_ms,omitempty"`     // anytime wall-clock budget, 0 = none
+	Apply         bool    `json:"apply,omitempty"`          // commit the repair when it fixes the set
+}
+
+// repairConfig validates the request at the wire boundary (so
+// ppp.SplitNodes' maxNPR panic is unreachable from a request body) and
+// lifts it into a repair.Config.
+func (req sessionRepairRequest) repairConfig() (repair.Config, error) {
+	strategy, err := repair.ParseStrategy(req.Strategy)
+	if err != nil {
+		return repair.Config{}, err
+	}
+	for _, q := range req.Budgets {
+		if err := ppp.CheckMaxNPR(q); err != nil {
+			return repair.Config{}, err
+		}
+	}
+	if req.TimeoutMs < 0 {
+		return repair.Config{}, fmt.Errorf("engine: invalid timeout_ms: %d (must be ≥ 0)", req.TimeoutMs)
+	}
+	cfg := repair.Config{
+		Strategy:      strategy,
+		MaxSteps:      req.MaxSteps,
+		Budgets:       req.Budgets,
+		Coarsen:       req.Coarsen,
+		Reprioritize:  req.Reprioritize,
+		Beam:          req.Beam,
+		MaxCandidates: req.MaxCandidates,
+		Seed:          req.Seed,
+	}
+	if err := cfg.Validate(); err != nil {
+		return repair.Config{}, err
+	}
+	return cfg, nil
+}
+
+// transformJSON is one repair step on the wire.
+type transformJSON struct {
+	Op     string `json:"op"`
+	Task   string `json:"task"`
+	MaxNPR int64  `json:"max_npr,omitempty"`
+	To     int    `json:"to,omitempty"`
+}
+
+// repairResponse is the POST /v1/sessions/{id}/repair response body.
+type repairResponse struct {
+	Fixed         bool            `json:"fixed"`
+	Stopped       bool            `json:"stopped"`
+	Applied       bool            `json:"applied"`
+	Candidates    int             `json:"candidates"`
+	FailingBefore int             `json:"failing_before"`
+	FailingAfter  int             `json:"failing_after"`
+	SlackBefore   int64           `json:"slack_before"`
+	SlackAfter    int64           `json:"slack_after"`
+	Transforms    []transformJSON `json:"transforms"`
+	Report        analyzeResult   `json:"report"`
+}
+
+func repairResponseOf(res *repair.Result, applied bool) repairResponse {
+	out := repairResponse{
+		Fixed:         res.Fixed,
+		Stopped:       res.Stopped,
+		Applied:       applied,
+		Candidates:    res.Candidates,
+		FailingBefore: res.FailingBefore,
+		FailingAfter:  res.FailingAfter,
+		SlackBefore:   res.SlackBefore,
+		SlackAfter:    res.SlackAfter,
+		Transforms:    make([]transformJSON, len(res.Transforms)),
+		Report:        reportJSON(res.Report),
+	}
+	for i, tr := range res.Transforms {
+		out.Transforms[i] = transformJSON{
+			Op:     tr.Op.String(),
+			Task:   tr.Task,
+			MaxNPR: tr.MaxNPR,
+			To:     tr.To,
+		}
+	}
+	return out
+}
+
+func (s *Server) handleSessionRepair(w http.ResponseWriter, r *http.Request) {
+	var req sessionRepairRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cfg, err := req.repairConfig()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := r.PathValue("id")
+	if s.redirectSession(w, r, id) {
+		return
+	}
+	t0 := time.Now()
+	v, err := s.sessions.Do(r.Context(), id,
+		func(ctx context.Context, sess *session.Session) (any, error) {
+			if req.TimeoutMs > 0 {
+				// The timeout is the anytime budget, not a failure
+				// mode: when it strikes, Repair returns the best
+				// partial repair with Stopped set.
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+				defer cancel()
+			}
+			return sess.Repair(ctx, cfg, req.Apply)
+		})
+	if err != nil {
+		s.setSessionEpoch(w, id) // an applied repair bumps the epoch
+		s.writeError(w, statusForSessionError(err), "session repair: %v", err)
+		return
+	}
+	res := v.(*repair.Result)
+	s.sessions.ObserveRepair(res, time.Since(t0))
+	s.setSessionEpoch(w, id)
+	applied := req.Apply && res.Fixed && len(res.Transforms) > 0
+	out := repairResponseOf(res, applied)
+	if binaryAccepted(r) {
+		s.writeFrame(w, http.StatusOK, func(dst []byte) []byte {
+			return appendRepairResultBin(dst, out)
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {

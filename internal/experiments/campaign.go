@@ -140,6 +140,11 @@ func StandardScenarios() []Scenario {
 			DAG: &gen.DAGParams{PTerm: 0.4, PPar: 0.6, NPar: 2, MaxNodes: 40, MaxPathLen: 15, CMin: 1, CMax: 100}},
 		{Name: "npr-fine", Group: gen.GroupMixed, NPRSplit: 10},
 		{Name: "npr-coarse", Group: gen.GroupMixed, NPRCoarsen: 200},
+		// openmp is the blocked-LU wavefront family (ROADMAP 4(c)):
+		// OpenMP4 depend-clause DAGs whose parallelism drains toward a
+		// sequential tail — up to 8 blocks (36 nodes, path 15).
+		{Name: "openmp", Group: gen.GroupParallel, Shape: gen.ShapeOpenMP,
+			DAG: &gen.DAGParams{PTerm: 0.4, PPar: 0.6, NPar: 6, MaxNodes: 38, MaxPathLen: 15, CMin: 1, CMax: 100}},
 	}
 }
 

@@ -71,6 +71,9 @@ var metricsCatalog = []string{
 	"lpdag_http_requests_total|counter|code,route|HTTP requests served, by route pattern and status code.",
 	"lpdag_http_slow_requests_total|counter||Requests slower than the configured slow-request threshold.",
 	"lpdag_http_write_errors_total|counter||Responses lost to encode or mid-body write failures.",
+	"lpdag_repair_candidates_total|counter||Candidate placements evaluated by session repair searches.",
+	"lpdag_repair_flips_total|counter||Repair searches that found a transform sequence flipping the set schedulable.",
+	"lpdag_repair_search_seconds|histogram||End-to-end session repair search duration (gate and queue wait excluded).",
 	"lpdag_server_draining|gauge||1 while SIGTERM drain is in progress, else 0.",
 	"lpdag_session_fsync_errors_total|counter||Durable session store append/fsync failures (durability degraded, serving continues).",
 	"lpdag_session_gate_wait_seconds|histogram||Time a session operation waited on its per-session serialization gate.",

@@ -94,6 +94,11 @@ const (
 	// ShapeDeep emits a long chain with occasional two-wide diamonds:
 	// maximal depth, very limited parallelism.
 	ShapeDeep
+	// ShapeOpenMP emits the blocked-LU wavefront of examples/openmp
+	// (OpenMP4 depend-clause style): diagonal steps, each fanning out
+	// to panel updates whose width shrinks as the wavefront advances —
+	// parallelism that starts wide and drains toward a sequential tail.
+	ShapeOpenMP
 )
 
 func (s Shape) String() string {
@@ -104,6 +109,8 @@ func (s Shape) String() string {
 		return "wide"
 	case ShapeDeep:
 		return "deep"
+	case ShapeOpenMP:
+		return "openmp"
 	}
 	return fmt.Sprintf("Shape(%d)", int(s))
 }
@@ -163,6 +170,16 @@ func New(seed int64, params Params) *Generator {
 		// The smallest wide graph is fork + join + 2 branches.
 		params.DAG.MaxNodes = 4
 	}
+	if params.Shape == ShapeOpenMP {
+		// The smallest wavefront is two diagonals and one panel (a
+		// 3-node chain).
+		if params.DAG.MaxNodes < 3 {
+			params.DAG.MaxNodes = 3
+		}
+		if params.DAG.MaxPathLen < 3 {
+			params.DAG.MaxPathLen = 3
+		}
+	}
 	if params.Beta <= 0 || params.Beta > 1 {
 		params.Beta = 0.5
 	}
@@ -183,6 +200,8 @@ func (g *Generator) Graph() *dag.Graph {
 		return g.wideGraph()
 	case ShapeDeep:
 		return g.deepGraph()
+	case ShapeOpenMP:
+		return g.openmpGraph()
 	}
 	if g.params.Group == GroupMixed && g.rng.Float64() < g.params.SeqProb {
 		return g.sequentialGraph()
@@ -261,6 +280,45 @@ func (g *Generator) parallelGraph() *dag.Graph {
 		s, t := expand(1)
 		b.AddEdge(fork, s)
 		b.AddEdge(t, join)
+	}
+	return b.MustBuild()
+}
+
+// openmpGraph emits the blocked-LU wavefront of examples/openmp with a
+// random number of blocks K: diagonal steps diag(k) for k < K, each
+// fanning out to panel updates panel(k,i) for i in (k, K); wavefront
+// edges panel(k-1,i) → panel(k,i) carry each column to the next step
+// and panel(k-1,k) → diag(k) gates the next diagonal. The DAG has
+// K + K(K−1)/2 nodes and a longest path of 2K−1 nodes, so K is drawn
+// from [2, Kmax] with Kmax the largest value fitting MaxNodes and
+// MaxPathLen.
+func (g *Generator) openmpGraph() *dag.Graph {
+	kMax := 2
+	for k := 3; k+k*(k-1)/2 <= g.params.DAG.MaxNodes && 2*k-1 <= g.params.DAG.MaxPathLen; k++ {
+		kMax = k
+	}
+	blocks := 2
+	if kMax > 2 {
+		blocks = 2 + g.rng.Intn(kMax-1)
+	}
+	var b dag.Builder
+	diag := make([]int, blocks)
+	panel := make([][]int, blocks)
+	for k := 0; k < blocks; k++ {
+		diag[k] = b.AddNode(g.wcet())
+		panel[k] = make([]int, blocks)
+	}
+	for k := 0; k < blocks; k++ {
+		for i := k + 1; i < blocks; i++ {
+			panel[k][i] = b.AddNode(g.wcet())
+			b.AddEdge(diag[k], panel[k][i])
+			if k > 0 {
+				b.AddEdge(panel[k-1][i], panel[k][i])
+			}
+		}
+		if k > 0 {
+			b.AddEdge(panel[k-1][k], diag[k])
+		}
 	}
 	return b.MustBuild()
 }

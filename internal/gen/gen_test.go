@@ -218,6 +218,73 @@ func TestShapeDeep(t *testing.T) {
 	}
 }
 
+func TestShapeOpenMP(t *testing.T) {
+	p := PaperParams(GroupParallel)
+	p.Shape = ShapeOpenMP
+	p.DAG.MaxNodes = 38   // fits up to K=8 blocks (8 + 28 nodes)
+	p.DAG.MaxPathLen = 15 // 2·8 − 1
+	g := New(13, p)
+	sawWide := false
+	for i := 0; i < 200; i++ {
+		gr := g.Graph()
+		if gr.N() > p.DAG.MaxNodes {
+			t.Fatalf("openmp graph exceeds node cap: %d", gr.N())
+		}
+		if got := len(gr.CriticalPath()); got > p.DAG.MaxPathLen {
+			t.Fatalf("openmp critical path %d > cap %d", got, p.DAG.MaxPathLen)
+		}
+		// A K-block wavefront has K + K(K−1)/2 nodes whose longest
+		// path (by node count — the critical path weighs WCETs and
+		// may be shorter) threads every diagonal: 2K−1 nodes.
+		var k int
+		for k = 2; k+k*(k-1)/2 < gr.N(); k++ {
+		}
+		if gr.N() != k+k*(k-1)/2 {
+			t.Fatalf("openmp node count %d is no wavefront", gr.N())
+		}
+		depth := make([]int, gr.N())
+		longest := 0
+		for _, v := range gr.TopologicalOrder() {
+			if depth[v] == 0 {
+				depth[v] = 1
+			}
+			if depth[v] > longest {
+				longest = depth[v]
+			}
+			for _, w := range gr.Successors(v) {
+				if depth[v]+1 > depth[w] {
+					depth[w] = depth[v] + 1
+				}
+			}
+		}
+		if longest != 2*k-1 {
+			t.Fatalf("K=%d wavefront has longest path of %d nodes, want %d", k, longest, 2*k-1)
+		}
+		// The first diagonal fans out to K−1 panels: width K−1 (≥ the
+		// wavefront's widest antichain of panels).
+		if k >= 4 && gr.Width() >= 3 {
+			sawWide = true
+		}
+	}
+	if !sawWide {
+		t.Error("openmp family never drew a wide wavefront")
+	}
+}
+
+func TestShapeOpenMPTinyBudget(t *testing.T) {
+	p := PaperParams(GroupMixed)
+	p.Shape = ShapeOpenMP
+	p.DAG.MaxNodes = 1   // clamped to 3
+	p.DAG.MaxPathLen = 1 // clamped to 3
+	g := New(16, p)
+	for i := 0; i < 100; i++ {
+		gr := g.Graph()
+		if gr.N() != 3 {
+			t.Fatalf("tiny openmp wavefront has %d nodes, want 3", gr.N())
+		}
+	}
+}
+
 func TestShapeWideTinyNodeBudget(t *testing.T) {
 	p := PaperParams(GroupParallel)
 	p.Shape = ShapeWide
@@ -235,7 +302,8 @@ func TestShapeWideTinyNodeBudget(t *testing.T) {
 }
 
 func TestShapeString(t *testing.T) {
-	if ShapeAuto.String() != "auto" || ShapeWide.String() != "wide" || ShapeDeep.String() != "deep" {
+	if ShapeAuto.String() != "auto" || ShapeWide.String() != "wide" || ShapeDeep.String() != "deep" ||
+		ShapeOpenMP.String() != "openmp" {
 		t.Error("shape strings wrong")
 	}
 	if Shape(9).String() == "" {

@@ -30,6 +30,17 @@ import (
 	"repro/internal/rta"
 )
 
+// CheckMaxNPR validates an NPR budget before it reaches SplitNodes or
+// CoarsenChains, which panic on out-of-range values. Boundary layers
+// (wire decoding, session parameters) call this so the panic stays a
+// programming-error assertion, never reachable from external input.
+func CheckMaxNPR(maxNPR int64) error {
+	if maxNPR < 1 {
+		return fmt.Errorf("ppp: invalid maxNPR: %d (must be ≥ 1)", maxNPR)
+	}
+	return nil
+}
+
 // SplitNodes returns a graph in which every node with WCET above maxNPR
 // is replaced by a chain of pieces, each at most maxNPR long, preserving
 // the volume, the precedence structure, and (because pieces are

@@ -64,6 +64,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/ppp"
+	"repro/internal/repair"
 	"repro/internal/seqlp"
 	"repro/internal/session"
 	"repro/internal/sim"
@@ -170,6 +171,9 @@ const (
 	ShapeWide = gen.ShapeWide
 	// ShapeDeep emits long chains with occasional two-wide diamonds.
 	ShapeDeep = gen.ShapeDeep
+	// ShapeOpenMP emits the blocked-LU wavefront of examples/openmp:
+	// diagonal steps fanning out to shrinking panel updates.
+	ShapeOpenMP = gen.ShapeOpenMP
 )
 
 // PaperGenParams returns the Section VI-A generator configuration.
@@ -300,6 +304,47 @@ type (
 	// SessionStore for crash-tolerance tests.
 	SessionFaultConfig = engine.FaultConfig
 )
+
+// Repair types (see internal/repair): the anytime NPR-placement
+// search that turns "unschedulable" into a sequence of split/coarsen/
+// priority transforms that fix it. Session.Repair drives it through
+// the incremental analyzer; lpdag-serve exposes it as
+// POST /v1/sessions/{id}/repair and the REPL as `fix`.
+type (
+	// RepairConfig parameterises a repair search; the zero value is a
+	// usable greedy search with derived split budgets.
+	RepairConfig = repair.Config
+	// RepairResult is a search outcome: the transform sequence, the
+	// repaired task ordering and its report, and the anytime exit flag.
+	RepairResult = repair.Result
+	// RepairTransform is one placement step (split/coarsen/move).
+	RepairTransform = repair.Transform
+	// RepairStrategy selects greedy beam search or exhaustive
+	// breadth-first enumeration.
+	RepairStrategy = repair.Strategy
+)
+
+// Repair strategies.
+const (
+	// RepairGreedy is the blocking-guided beam search (the default).
+	RepairGreedy = repair.Greedy
+	// RepairExhaustive enumerates sequences breadth-first: minimal
+	// transform count, exponential cost.
+	RepairExhaustive = repair.Exhaustive
+)
+
+// RepairSearch looks for the cheapest transform sequence that makes
+// tasks schedulable under eval — see repair.Search. Most callers want
+// Session.Repair instead, which binds eval to the session's
+// incremental analyzer.
+func RepairSearch(ctx context.Context, tasks []*Task, cfg RepairConfig, eval repair.Eval) (*RepairResult, error) {
+	return repair.Search(ctx, tasks, cfg, eval)
+}
+
+// RepairApply replays a transform sequence onto a priority ordering.
+func RepairApply(tasks []*Task, trs []RepairTransform) ([]*Task, error) {
+	return repair.Apply(tasks, trs)
+}
 
 // NewSession validates the options and initial tasks (highest priority
 // first; empty is allowed) and returns a ready Session.
